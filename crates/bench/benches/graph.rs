@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the graph substrate: construction,
+//! subgraph extraction (the paper's common-page restriction), traversal,
+//! and SCC/bow-tie analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrank_graph::bowtie::bowtie_decomposition;
+use qrank_graph::generators::barabasi_albert;
+use qrank_graph::scc::tarjan_scc;
+use qrank_graph::traversal::bfs;
+use qrank_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_edges(n: u32, m: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(20);
+    for &m in &[100_000usize, 500_000] {
+        let edges = random_edges(50_000, m, 3);
+        group.bench_with_input(BenchmarkId::new("builder_build", m), &edges, |b, edges| {
+            b.iter(|| {
+                let mut builder = GraphBuilder::with_nodes(50_000);
+                builder.add_edges(edges.iter().copied());
+                black_box(builder.build())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = barabasi_albert(50_000, 5, &mut rng);
+    let keep: Vec<NodeId> = (0..50_000).filter(|i| i % 2 == 0).collect();
+    group.bench_function("induced_subgraph_half", |b| {
+        b.iter(|| black_box(g.induced_subgraph(&keep)))
+    });
+    group.bench_function("transpose", |b| b.iter(|| black_box(g.transpose())));
+    group.bench_function("bfs_full", |b| b.iter(|| black_box(bfs(&g, 0))));
+    group.bench_function("tarjan_scc", |b| b.iter(|| black_box(tarjan_scc(&g))));
+    group.bench_function("bowtie", |b| b.iter(|| black_box(bowtie_decomposition(&g))));
+    group.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_io");
+    group.sample_size(20);
+    let g = CsrGraph::from_edges(20_000, &random_edges(20_000, 200_000, 5));
+    let bytes = qrank_graph::io::encode_graph(&g);
+    group.bench_function("encode_binary", |b| {
+        b.iter(|| black_box(qrank_graph::io::encode_graph(&g)))
+    });
+    group.bench_function("decode_binary", |b| {
+        b.iter(|| black_box(qrank_graph::io::decode_graph(&bytes).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_ops, bench_io);
+criterion_main!(benches);

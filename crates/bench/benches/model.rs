@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the analytic model layer: closed-form
+//! evaluation, RK4 integration, Monte-Carlo simulation, and logistic
+//! fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrank_model::fitting::fit_quality;
+use qrank_model::ode::popularity_trajectory;
+use qrank_model::popularity::{popularity, popularity_series};
+use qrank_model::ModelParams;
+use qrank_sim::montecarlo::simulate_single_page;
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model");
+    let p = ModelParams::figure1();
+
+    group.bench_function("closed_form_1k_evals", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += popularity(&p, i as f64 * 0.04);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("rk4_4k_steps", |b| {
+        b.iter(|| black_box(popularity_trajectory(&p, 40.0, 4000)))
+    });
+
+    let mc = ModelParams::new(0.5, 10_000.0, 20_000.0, 1e-3).unwrap();
+    group.bench_function("monte_carlo_single_page", |b| {
+        b.iter(|| black_box(simulate_single_page(&mc, 0.05, 8.0, 77)))
+    });
+
+    let samples = popularity_series(&ModelParams::new(0.6, 1e6, 1e6, 1e-4).unwrap(), 30.0, 50);
+    group.bench_function("logistic_fit_50_samples", |b| {
+        b.iter(|| black_box(fit_quality(&samples, 1.0).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the web-evolution simulator: step
+//! throughput at several population sizes and crawl cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrank_sim::{Crawler, SimConfig, World};
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_step");
+    group.sample_size(10);
+    for &(users, sites) in &[(1_000usize, 20usize), (4_000, 154)] {
+        let cfg = SimConfig {
+            num_users: users,
+            num_sites: sites,
+            visit_ratio: 1.0,
+            page_birth_rate: 50.0,
+            dt: 0.05,
+            seed: 11,
+            ..Default::default()
+        };
+        // measure steady-state steps after a warmup
+        let mut world = World::bootstrap(cfg).expect("bootstrap");
+        world.run_until(3.0);
+        group.bench_with_input(
+            BenchmarkId::new("month_of_steps", format!("{users}u_{sites}s")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    // 20 steps = one month at dt = 0.05
+                    for _ in 0..20 {
+                        world.step().expect("step");
+                    }
+                    black_box(world.num_pages())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawler");
+    group.sample_size(10);
+    let cfg = SimConfig {
+        num_users: 2_000,
+        num_sites: 50,
+        visit_ratio: 1.0,
+        page_birth_rate: 60.0,
+        dt: 0.05,
+        seed: 13,
+        ..Default::default()
+    };
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+    world.run_until(6.0);
+    let crawler = Crawler::default();
+    group.bench_function("crawl_mature_world", |b| {
+        b.iter(|| black_box(crawler.crawl(&world, 6.0).expect("crawl")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps, bench_crawl);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! ABL-EST — estimator variants on identical snapshot data: the paper
+//! estimator on PageRank vs on raw link counts (footnote 4), the
+//! derivative-only term, the current-popularity baseline, the
+//! adaptive-window variant, and the whole-curve logistic fit.
+//!
+//! Usage: `ablation_estimators [small|paper] [seed]`.
+
+use qrank_bench::ablations::estimator_variants;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    println!("Ablation: estimator variants ({scale:?}, seed {seed})\n");
+    let rows: Vec<Vec<String>> = estimator_variants(scale, seed)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                format!("{}", r.selected),
+                table::f(r.summary.mean_error),
+                table::pct(r.summary.frac_below_01),
+                table::pct(r.summary.frac_above_1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["estimator / metric", "pages", "mean err", "err<0.1", "err>1"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,41 @@
+//! ABL-FIT — whole-curve logistic fitting (Theorem 1 asymptote) vs the
+//! paper's two-point formula, as a function of how many snapshots the
+//! two-month estimation window is divided into. With the paper's budget
+//! (3 snapshots) the logistic asymptote is unidentifiable for
+//! slow-growing pages; this sweep quantifies how much denser the crawl
+//! schedule must be before whole-curve fitting becomes competitive.
+//!
+//! Usage: `ablation_fit_budget [small|paper] [seed]`.
+
+use qrank_bench::ablations::fit_budget_sweep;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    println!("Ablation: snapshot budget for whole-curve logistic fitting ({scale:?}, seed {seed})");
+    println!("(the 'baseline' column is the paper two-point estimator on the same data)\n");
+    let rows: Vec<Vec<String>> = fit_budget_sweep(scale, seed, &[3, 5, 9, 17])
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                format!("{}", r.selected),
+                table::f(r.summary.mean_error),
+                table::f(r.baseline.mean_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["config", "pages", "err logistic", "err paper-est"], &rows)
+    );
+}

@@ -1,0 +1,38 @@
+//! ABL-FORGET — the paper's future-work forgetting model: users forget
+//! pages, popularity can *decline* (as the paper observed for many real
+//! pages), and the estimator must cope with decreasing PageRanks.
+//!
+//! Usage: `ablation_forgetting [small|paper] [seed]`.
+
+use qrank_bench::ablations::forgetting_sweep;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    println!("Ablation: forgetting rate ({scale:?}, seed {seed})");
+    println!("(forget_rate > 0 lets popularity decline; effective quality Q_eff = Q - phi*n/r)\n");
+    let rows: Vec<Vec<String>> = forgetting_sweep(scale, seed, &[0.0, 0.25, 0.5, 1.0])
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                format!("{}", r.selected),
+                table::f(r.summary.mean_error),
+                table::f(r.baseline.mean_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["config", "pages", "err Q(p)", "err PR(t3)"], &rows)
+    );
+}

@@ -1,0 +1,39 @@
+//! ABL-INT — snapshot-interval sensitivity: how does the spacing of the
+//! estimation-window snapshots affect accuracy? (Related to the paper's
+//! future-work idea of "adjusting the Web download intervals depending on
+//! the current PageRank values".)
+//!
+//! Usage: `ablation_intervals [small|paper] [seed]`.
+
+use qrank_bench::ablations::interval_sweep;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    println!("Ablation: estimation-window snapshot interval ({scale:?}, seed {seed})");
+    println!("(future snapshot fixed 6 months after the first; paper uses ~1-month spacing)\n");
+    let rows: Vec<Vec<String>> = interval_sweep(scale, seed, &[0.25, 0.5, 1.0, 2.0])
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                format!("{}", r.selected),
+                table::f(r.summary.mean_error),
+                table::f(r.baseline.mean_error),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(&["config", "pages", "err Q(p)", "err PR(t3)"], &rows)
+    );
+}

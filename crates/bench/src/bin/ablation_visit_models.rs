@@ -1,0 +1,54 @@
+//! ABL-VISIT — discovery regimes: the paper's user-visitation model
+//! (visits proportional to popularity) vs search-engine-mediated
+//! discovery (visits proportional to PageRank, or decaying with result
+//! position). Quantifies the "rich-get-richer" bias of the paper's
+//! introduction and whether the temporal estimator still helps under it.
+//!
+//! Usage: `ablation_visit_models [small|paper] [seed]`.
+
+use qrank_bench::ablations::visit_model_sweep;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    println!("Ablation: visit-allocation (discovery) models ({scale:?}, seed {seed})\n");
+    let rows: Vec<Vec<String>> = visit_model_sweep(scale, seed)
+        .into_iter()
+        .map(|(r, rho_est, rho_cur)| {
+            vec![
+                r.label,
+                format!("{}", r.selected),
+                table::f(r.summary.mean_error),
+                table::f(r.baseline.mean_error),
+                table::f(rho_est),
+                table::f(rho_cur),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["discovery model", "pages", "err Q(p)", "err PR(t3)", "rho(Q,truth)", "rho(PR,truth)"],
+            &rows
+        )
+    );
+    println!("\nrho columns: spearman rank correlation with the hidden true quality.");
+    println!("two effects appear under search-mediated discovery:");
+    println!("  1. the popularity ranking tracks true quality less well (lower rho(PR)) -");
+    println!("     the paper's motivating bias - while the temporal estimator keeps a");
+    println!("     higher quality correlation in every regime;");
+    println!("  2. current PageRank becomes a *better* predictor of future PageRank");
+    println!("     (lower err PR), because rich-get-richer discovery makes popularity");
+    println!("     self-fulfilling. Future-PageRank prediction and quality measurement");
+    println!("     come apart exactly when discovery is biased - the regime where an");
+    println!("     unbiased quality metric matters most.");
+}

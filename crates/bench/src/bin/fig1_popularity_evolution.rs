@@ -1,0 +1,34 @@
+//! FIG1 — regenerate Figure 1: time evolution of page popularity
+//! (`Q = 0.8`, `n = r = 1e8`, `P(p,0) = 1e-8`), with the three life
+//! stages annotated.
+
+use qrank_bench::figures::fig1_series;
+use qrank_bench::table;
+use qrank_model::stages::{stage_at, stage_transitions, StageThresholds};
+use qrank_model::ModelParams;
+
+fn main() {
+    let params = ModelParams::figure1();
+    println!("Figure 1: popularity evolution P(p,t)");
+    println!("parameters: Q = 0.8, n = 1e8, r = 1e8, P(p,0) = 1e-8\n");
+
+    let rows: Vec<Vec<String>> = fig1_series(20)
+        .into_iter()
+        .map(|(t, p)| {
+            vec![
+                format!("{t:.1}"),
+                table::f(p),
+                format!("{:?}", stage_at(&params, t)),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["t", "P(p,t)", "stage"], &rows));
+
+    let (lo, hi) = stage_transitions(&params, StageThresholds::default());
+    println!(
+        "stage transitions: infant->expansion at t = {:.1}, expansion->maturity at t = {:.1}",
+        lo.expect("transition exists"),
+        hi.expect("transition exists")
+    );
+    println!("(paper, read off its plot: t ~ 15 and t ~ 30; popularity saturates at Q = 0.8)");
+}

@@ -1,0 +1,73 @@
+//! TAB-HEAD — the Section 8.2 headline numbers across several seeds:
+//! average relative error of `Q(p)` vs `PR(p,t3)` against `PR(p,t4)`
+//! (paper: 0.32 vs 0.78 — "our quality estimator predicted the future
+//! PageRank twice as accurately").
+//!
+//! Usage: `table_headline_errors [small|paper] [num_seeds]`.
+
+use qrank_bench::figures::fig5;
+use qrank_bench::scenario::Scale;
+use qrank_bench::table;
+use qrank_core::bootstrap_mean_ci;
+
+fn main() {
+    let mut scale = Scale::Paper;
+    let mut num_seeds = 3usize;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => scale = Scale::Small,
+            "paper" => scale = Scale::Paper,
+            s => num_seeds = s.parse().expect("bad seed count"),
+        }
+    }
+    println!("Headline table: mean relative error vs future PageRank ({scale:?}, {num_seeds} seeds)\n");
+
+    let mut rows = Vec::new();
+    let mut sum_q = 0.0;
+    let mut sum_pr = 0.0;
+    for seed in 0..num_seeds as u64 {
+        let out = fig5(scale, 42 + seed);
+        let r = &out.report;
+        sum_q += r.summary_estimate.mean_error;
+        sum_pr += r.summary_current.mean_error;
+        rows.push(vec![
+            format!("{}", 42 + seed),
+            format!("{}", r.num_selected()),
+            table::f(r.summary_estimate.mean_error),
+            table::f(r.summary_current.mean_error),
+            format!("x{:.2}", r.improvement_factor()),
+        ]);
+    }
+    rows.push(vec![
+        "mean".into(),
+        "-".into(),
+        table::f(sum_q / num_seeds as f64),
+        table::f(sum_pr / num_seeds as f64),
+        format!("x{:.2}", (sum_pr / num_seeds as f64) / (sum_q / num_seeds as f64)),
+    ]);
+    println!(
+        "{}",
+        table::render(&["seed", "pages", "err Q(p)", "err PR(p,t3)", "improvement"], &rows)
+    );
+
+    // bootstrap 95% confidence intervals on the first seed's run
+    let out = fig5(scale, 42);
+    let r = &out.report;
+    let pick = |errs: &[f64]| -> Vec<f64> {
+        errs.iter()
+            .zip(&r.selected)
+            .filter(|(_, &s)| s)
+            .map(|(&e, _)| e)
+            .collect()
+    };
+    let (qlo, qhi) = bootstrap_mean_ci(&pick(&r.err_estimate), 2000, 0.95, 42);
+    let (plo, phi) = bootstrap_mean_ci(&pick(&r.err_current), 2000, 0.95, 42);
+    println!(
+        "bootstrap 95% CI (seed 42): err Q(p) in [{}, {}], err PR(p,t3) in [{}, {}]",
+        table::f(qlo),
+        table::f(qhi),
+        table::f(plo),
+        table::f(phi)
+    );
+    println!("paper reference: err Q(p) = 0.32, err PR(p,t3) = 0.78, improvement x2.4");
+}

@@ -1,0 +1,113 @@
+//! `qrank cohort` — analytic bias diagnostics from the user-visitation
+//! model: how badly does popularity ranking misorder a cohort of pages,
+//! and how long do young quality pages stay buried?
+
+use qrank_model::cohort::{
+    hidden_gems, pairwise_inversion_rate, time_to_overtake, CohortEnv, CohortPage,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::args::{parse, CliError};
+
+const USAGE: &str = "\
+qrank cohort [options]
+
+options:
+  --pages N          cohort size (default 2000)
+  --max-age A        ages drawn uniformly from [0, A] months (default 24)
+  --visit-ratio R    r/n (default 1.0)
+  --users N          population for the birth popularity 1/N (default 10000)
+  --gem-quality Q    hidden-gem quality floor (default 0.7)
+  --gem-popularity P hidden-gem popularity ceiling (default 0.1)
+  --seed S           RNG seed (default 42)
+
+prints the pairwise inversion rate of popularity vs quality, the hidden-gem
+census, and overtake times for a 0.9-quality newcomer against incumbents.";
+
+/// Entry point.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let allowed = [
+        "pages", "max-age", "visit-ratio", "users", "gem-quality", "gem-popularity", "seed",
+    ];
+    let p = parse(argv, &allowed, USAGE)?;
+    if p.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let pages: usize = p.get_or("pages", 2000, USAGE)?;
+    let max_age: f64 = p.get_or("max-age", 24.0, USAGE)?;
+    let visit_ratio: f64 = p.get_or("visit-ratio", 1.0, USAGE)?;
+    let users: f64 = p.get_or("users", 10_000.0, USAGE)?;
+    let gem_q: f64 = p.get_or("gem-quality", 0.7, USAGE)?;
+    let gem_p: f64 = p.get_or("gem-popularity", 0.1, USAGE)?;
+    let seed: u64 = p.get_or("seed", 42, USAGE)?;
+
+    let env = CohortEnv { visit_ratio, initial_popularity: 1.0 / users };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cohort: Vec<CohortPage> = (0..pages)
+        .map(|_| CohortPage {
+            quality: 0.05 + 0.9 * rng.random::<f64>(),
+            age: max_age * rng.random::<f64>(),
+        })
+        .collect();
+
+    let inv = pairwise_inversion_rate(&env, &cohort)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!("cohort: {pages} pages, ages U[0, {max_age}] months, qualities U[0.05, 0.95]");
+    println!("pairwise inversion rate of popularity vs quality: {:.3}", inv);
+    println!("(0 = popularity ranks exactly like quality; 0.5 = random)\n");
+
+    let gems = hidden_gems(&env, &cohort, gem_q, gem_p)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let total_gems = cohort.iter().filter(|p| p.quality >= gem_q).count();
+    println!(
+        "hidden gems (quality >= {gem_q}, popularity < {gem_p}): {} of {} quality pages ({:.1}%)",
+        gems.len(),
+        total_gems,
+        100.0 * gems.len() as f64 / total_gems.max(1) as f64
+    );
+    if let Some(&g) = gems.first() {
+        println!(
+            "  example: quality {:.2}, age {:.1} months, popularity {:.4}",
+            cohort[g].quality,
+            cohort[g].age,
+            env.popularity_of(cohort[g]).map_err(|e| CliError::Runtime(e.to_string()))?
+        );
+    }
+
+    println!("\novertake times for a newborn 0.9-quality page:");
+    for incumbent in [0.2, 0.4, 0.6, 0.8] {
+        match time_to_overtake(&env, 0.9, incumbent)
+            .map_err(|e| CliError::Runtime(e.to_string()))?
+        {
+            Some(t) => println!("  vs mature quality-{incumbent} incumbent: {t:.1} months"),
+            None => println!("  vs mature quality-{incumbent} incumbent: never"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn runs_with_defaults() {
+        run(&argv(&["--pages", "200"])).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(matches!(run(&argv(&["--pages", "lots"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_works() {
+        run(&argv(&["--help"])).unwrap();
+    }
+}

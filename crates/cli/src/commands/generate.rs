@@ -1,0 +1,116 @@
+//! `qrank generate` — synthetic web graphs.
+
+use qrank_graph::generators::{
+    barabasi_albert, copy_model, erdos_renyi_gnm, site_structured, SiteWebParams,
+};
+use qrank_graph::io::write_edge_list;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{parse, write_output, CliError};
+
+const USAGE: &str = "\
+qrank generate --model <ba|er|copy|sites> --out <file|-> [options]
+
+options:
+  --model MODEL    generator: ba (Barabasi-Albert), er (Erdos-Renyi G(n,m)),
+                   copy (Kleinberg copy model), sites (site-structured web)
+  --nodes N        number of nodes (default 10000; ignored for sites)
+  --edges M        er only: number of edges (default 5*nodes)
+  --m K            ba: out-links per new node (default 3)
+  --out-degree K   copy: links per node (default 3)
+  --copy-prob P    copy: copy probability (default 0.6)
+  --sites S        sites: number of sites (default 154)
+  --seed S         RNG seed (default 42)
+  --out FILE       output edge list path, `-` for stdout";
+
+/// Entry point.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let allowed = [
+        "model", "nodes", "edges", "m", "out-degree", "copy-prob", "sites", "seed", "out",
+    ];
+    let p = parse(argv, &allowed, USAGE)?;
+    if p.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let model = p.require("model", USAGE)?.to_string();
+    let nodes: usize = p.get_or("nodes", 10_000, USAGE)?;
+    let seed: u64 = p.get_or("seed", 42, USAGE)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let graph = match model.as_str() {
+        "ba" => {
+            let m: usize = p.get_or("m", 3, USAGE)?;
+            barabasi_albert(nodes, m, &mut rng)
+        }
+        "er" => {
+            let edges: usize = p.get_or("edges", nodes.saturating_mul(5), USAGE)?;
+            erdos_renyi_gnm(nodes, edges, &mut rng)
+        }
+        "copy" => {
+            let d: usize = p.get_or("out-degree", 3, USAGE)?;
+            let cp: f64 = p.get_or("copy-prob", 0.6, USAGE)?;
+            copy_model(nodes, d, cp, &mut rng)
+        }
+        "sites" => {
+            let sites: usize = p.get_or("sites", 154, USAGE)?;
+            let params = SiteWebParams { num_sites: sites, ..Default::default() };
+            site_structured(&params, &mut rng).graph
+        }
+        other => return Err(CliError::usage(format!("unknown model `{other}`"), USAGE)),
+    };
+
+    let mut buf = Vec::new();
+    write_edge_list(&graph, &mut buf).map_err(|e| CliError::Runtime(e.to_string()))?;
+    write_output(p.get("out"), &String::from_utf8_lossy(&buf))?;
+    eprintln!(
+        "generated {} nodes, {} edges ({model}, seed {seed})",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn generates_ba_to_file() {
+        let dir = std::env::temp_dir().join("qrank_cli_test_gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ba.edges");
+        run(&argv(&[
+            "--model", "ba", "--nodes", "100", "--m", "2", "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let g = qrank_graph::io::read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert!(g.num_edges() > 100);
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        assert!(matches!(
+            run(&argv(&["--model", "banana", "--out", "-"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn requires_model() {
+        assert!(matches!(run(&argv(&["--out", "-"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        run(&argv(&["--help"])).unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+//! Subcommand implementations.
+
+pub mod cohort;
+pub mod estimate;
+pub mod generate;
+pub mod model;
+pub mod pagerank;
+pub mod simulate;
+pub mod stats;

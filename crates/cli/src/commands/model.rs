@@ -1,0 +1,136 @@
+//! `qrank model` — print the user-visitation model's curves (the
+//! paper's Figures 1–3) as TSV series, plus custom-parameter curves.
+
+use qrank_model::popularity::{
+    popularity_series, quality_estimate_series, relative_increase_series,
+};
+use qrank_model::ModelParams;
+
+use crate::args::{parse, write_output, CliError};
+
+const USAGE: &str = "\
+qrank model [options]
+
+options:
+  --figure N      1, 2 or 3: reproduce the paper's figure parameters
+  --quality Q     custom curve: page quality in (0, 1]
+  --p0 P          custom curve: initial popularity (default 1e-6)
+  --visit-ratio R custom curve: r/n (default 1.0)
+  --t-max T       time horizon (default: figure-appropriate)
+  --steps K       samples (default 100)
+  --out FILE      TSV output (default stdout)
+
+give either --figure or --quality.";
+
+/// Entry point.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let allowed = ["figure", "quality", "p0", "visit-ratio", "t-max", "steps", "out"];
+    let p = parse(argv, &allowed, USAGE)?;
+    if p.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let steps: usize = p.get_or("steps", 100, USAGE)?;
+
+    let (params, t_max, which) = match (p.get("figure"), p.get("quality")) {
+        (Some(fig), None) => match fig {
+            "1" => (ModelParams::figure1(), 40.0, 1u8),
+            "2" => (ModelParams::figure2(), 150.0, 2),
+            "3" => (ModelParams::figure2(), 150.0, 3),
+            other => return Err(CliError::usage(format!("unknown figure `{other}`"), USAGE)),
+        },
+        (None, Some(_)) => {
+            let q: f64 = p.get_or("quality", 0.5, USAGE)?;
+            let p0: f64 = p.get_or("p0", 1e-6, USAGE)?;
+            let vr: f64 = p.get_or("visit-ratio", 1.0, USAGE)?;
+            let params = ModelParams::new(q, 1.0, vr, p0)
+                .map_err(|e| CliError::usage(e.to_string(), USAGE))?;
+            (params, 0.0, 0)
+        }
+        _ => return Err(CliError::usage("give either --figure or --quality", USAGE)),
+    };
+    let t_max: f64 = p.get_or(
+        "t-max",
+        if t_max > 0.0 {
+            t_max
+        } else {
+            // heuristic horizon: well past saturation
+            3.0 * (params.quality / params.initial_popularity).ln()
+                / (params.visit_ratio() * params.quality)
+        },
+        USAGE,
+    )?;
+
+    let mut out = String::new();
+    match which {
+        2 => {
+            out.push_str("t\tI\tP\n");
+            let i_series = relative_increase_series(&params, t_max, steps);
+            let p_series = popularity_series(&params, t_max, steps);
+            for ((t, i), (_, pop)) in i_series.into_iter().zip(p_series) {
+                out.push_str(&format!("{t:.4}\t{i:.8}\t{pop:.8}\n"));
+            }
+        }
+        3 => {
+            out.push_str("t\tI_plus_P\n");
+            for (t, q) in quality_estimate_series(&params, t_max, steps) {
+                out.push_str(&format!("{t:.4}\t{q:.10}\n"));
+            }
+        }
+        _ => {
+            out.push_str("t\tP\n");
+            for (t, pop) in popularity_series(&params, t_max, steps) {
+                out.push_str(&format!("{t:.4}\t{pop:.8}\n"));
+            }
+        }
+    }
+    write_output(p.get("out"), &out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qrank_cli_test_model");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn figure_curves() {
+        for fig in ["1", "2", "3"] {
+            let out = temp_file(&format!("fig{fig}.tsv"));
+            run(&argv(&["--figure", fig, "--steps", "10", "--out", out.to_str().unwrap()]))
+                .unwrap();
+            let text = std::fs::read_to_string(&out).unwrap();
+            assert_eq!(text.lines().count(), 12, "header + 11 samples for fig {fig}");
+        }
+    }
+
+    #[test]
+    fn custom_curve_saturates_at_quality() {
+        let out = temp_file("custom.tsv");
+        run(&argv(&[
+            "--quality", "0.6", "--p0", "0.001", "--steps", "50", "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let last = text.lines().last().unwrap();
+        let p: f64 = last.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((p - 0.6).abs() < 0.01, "saturation at {p}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&argv(&["--figure", "9"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&argv(&["--quality", "2.0"])), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,68 @@
+//! `qrank` — command-line interface to the qrank workspace.
+//!
+//! ```text
+//! qrank generate  --model ba --nodes 10000 --out web.edges
+//! qrank pagerank  --graph web.edges --top 10
+//! qrank stats     --graph web.edges
+//! qrank simulate  --months 8 --out series.bin --truth truth.tsv
+//! qrank estimate  --series series.bin --c 1.0 --out quality.tsv
+//! qrank model     --figure 1
+//! ```
+//!
+//! Every subcommand prints `--help`-style usage on bad arguments; exit
+//! code is 0 on success, 2 on usage errors, 1 on runtime failures.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qrank <command> [options]
+
+commands:
+  generate   write a synthetic web graph as an edge list
+  pagerank   compute PageRank (or HITS/in-degree/OPIC) scores for a graph
+  stats      structural summary of a graph (degrees, bow-tie, power law)
+  simulate   run the agent-based web simulator and crawl snapshots
+  estimate   estimate page quality from a snapshot series
+  model      print the user-visitation model curves (paper figures 1-3)
+  cohort     analytic popularity-vs-quality bias diagnostics
+
+run `qrank <command> --help` for per-command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "pagerank" => commands::pagerank::run(rest),
+        "stats" => commands::stats::run(rest),
+        "simulate" => commands::simulate::run(rest),
+        "estimate" => commands::estimate::run(rest),
+        "model" => commands::model::run(rest),
+        "cohort" => commands::cohort::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(args::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(args::CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Trend classification of popularity trajectories.
+//!
+//! Section 8.2 of the paper: "we first identified the set of pages whose
+//! PageRank values had consistently increased (or decreased) over the
+//! first three snapshots" and, from the discussion section, "for these
+//! \[oscillating\] pages, we assumed that I(p,t) = 0 for our quality
+//! estimator." This module is that classification step.
+
+/// The trend of a page's popularity across a snapshot window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trend {
+    /// Strictly increasing at every step.
+    Increasing,
+    /// Strictly decreasing at every step (the paper's anomaly pages,
+    /// explained by the forgetting extension).
+    Decreasing,
+    /// Neither monotone direction — PageRank "went up from t1 to t2 and
+    /// down again from t2 to t3" (or vice versa).
+    Oscillating,
+    /// No change beyond `flat_tolerance` anywhere — the majority of
+    /// pages in the paper's dataset.
+    Flat,
+}
+
+/// Classify a trajectory. `flat_tolerance` is the relative change below
+/// which a step counts as "no movement" (the paper reports results for
+/// pages whose PageRank changed more than 5%, i.e. tolerance 0.05 over
+/// the whole window; per-step we apply it to each consecutive pair).
+///
+/// # Panics
+/// Panics on a trajectory with fewer than 2 points.
+pub fn classify_trend(values: &[f64], flat_tolerance: f64) -> Trend {
+    assert!(values.len() >= 2, "need at least two snapshots to classify");
+    assert!(flat_tolerance >= 0.0, "tolerance must be non-negative");
+    let mut any_up = false;
+    let mut any_down = false;
+    for w in values.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let scale = a.abs().max(b.abs());
+        if scale == 0.0 {
+            continue;
+        }
+        let rel = (b - a) / scale;
+        if rel > flat_tolerance {
+            any_up = true;
+        } else if rel < -flat_tolerance {
+            any_down = true;
+        }
+    }
+    match (any_up, any_down) {
+        (false, false) => Trend::Flat,
+        (true, false) => Trend::Increasing,
+        (false, true) => Trend::Decreasing,
+        (true, true) => Trend::Oscillating,
+    }
+}
+
+/// Classify every row of a trajectory matrix.
+pub fn classify_all(values: &[Vec<f64>], flat_tolerance: f64) -> Vec<Trend> {
+    values.iter().map(|v| classify_trend(v, flat_tolerance)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_up() {
+        assert_eq!(classify_trend(&[1.0, 1.2, 1.5], 0.01), Trend::Increasing);
+    }
+
+    #[test]
+    fn monotone_down() {
+        assert_eq!(classify_trend(&[1.5, 1.2, 1.0], 0.01), Trend::Decreasing);
+    }
+
+    #[test]
+    fn oscillation() {
+        assert_eq!(classify_trend(&[1.0, 1.5, 1.1], 0.01), Trend::Oscillating);
+        assert_eq!(classify_trend(&[1.5, 1.0, 1.4], 0.01), Trend::Oscillating);
+    }
+
+    #[test]
+    fn flat_within_tolerance() {
+        assert_eq!(classify_trend(&[1.0, 1.01, 0.99], 0.05), Trend::Flat);
+        assert_eq!(classify_trend(&[0.0, 0.0, 0.0], 0.05), Trend::Flat);
+    }
+
+    #[test]
+    fn tolerance_zero_is_strict() {
+        assert_eq!(classify_trend(&[1.0, 1.0 + 1e-12], 0.0), Trend::Increasing);
+        assert_eq!(classify_trend(&[1.0, 1.0], 0.0), Trend::Flat);
+    }
+
+    #[test]
+    fn small_dip_within_tolerance_still_increasing() {
+        // net growth with one sub-tolerance dip counts as increasing
+        assert_eq!(classify_trend(&[1.0, 1.3, 1.29, 1.6], 0.05), Trend::Increasing);
+    }
+
+    #[test]
+    fn growth_from_zero() {
+        // 0 -> x is a relative change of 1.0 under the max-scale rule
+        assert_eq!(classify_trend(&[0.0, 0.5], 0.05), Trend::Increasing);
+        assert_eq!(classify_trend(&[0.5, 0.0], 0.05), Trend::Decreasing);
+    }
+
+    #[test]
+    fn two_points_suffice() {
+        assert_eq!(classify_trend(&[1.0, 2.0], 0.05), Trend::Increasing);
+    }
+
+    #[test]
+    #[should_panic(expected = "two snapshots")]
+    fn rejects_single_point() {
+        let _ = classify_trend(&[1.0], 0.05);
+    }
+
+    #[test]
+    fn classify_all_maps_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(
+            classify_all(&rows, 0.01),
+            vec![Trend::Increasing, Trend::Decreasing, Trend::Flat]
+        );
+    }
+}

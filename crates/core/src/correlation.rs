@@ -1,0 +1,312 @@
+//! Rank-correlation and ranking-quality measures.
+//!
+//! The paper evaluates by relative error against future PageRank; when
+//! the corpus comes from the simulator we additionally know the true
+//! quality of every page, so we can ask the question the paper could
+//! not: *how well does each estimator rank pages by their actual
+//! quality?* Spearman's ρ, Kendall's τ (O(n log n)), and precision@k
+//! answer it.
+
+/// Average ranks with midpoint tie handling.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation of two equally-long slices; 0 if either side is
+/// constant or the slices are shorter than 2.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson on midpoint-tied ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall's τ-b via merge-sort inversion counting, O(n log n).
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    // sort by x, then count inversions in y; ties need care (tau-b)
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        x[a].partial_cmp(&x[b])
+            .expect("no NaN")
+            .then(y[a].partial_cmp(&y[b]).expect("no NaN"))
+    });
+    let sorted_y: Vec<f64> = order.iter().map(|&i| y[i]).collect();
+
+    // tie counts
+    let tie_pairs = |vals: &[f64]| -> f64 {
+        let mut sorted: Vec<f64> = vals.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut t = 0.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let c = (j - i + 1) as f64;
+            t += c * (c - 1.0) / 2.0;
+            i = j + 1;
+        }
+        t
+    };
+    let tx = tie_pairs(x);
+    let ty = tie_pairs(y);
+    // joint ties (pairs tied in both)
+    let txy = {
+        let mut pairs: Vec<(f64, f64)> = x.iter().copied().zip(y.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut t = 0.0;
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i;
+            while j + 1 < pairs.len() && pairs[j + 1] == pairs[i] {
+                j += 1;
+            }
+            let c = (j - i + 1) as f64;
+            t += c * (c - 1.0) / 2.0;
+            i = j + 1;
+        }
+        t
+    };
+
+    let total = n as f64 * (n as f64 - 1.0) / 2.0;
+    let discordant = count_inversions(&sorted_y);
+    // concordant + discordant + ties = total
+    let concordant = total - discordant as f64 - tx - ty + txy;
+    let denom = ((total - tx) * (total - ty)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant as f64) / denom
+}
+
+/// Count strict inversions (pairs `i < j` with `v[i] > v[j]`) by merge
+/// sort. Equal elements are not inversions.
+fn count_inversions(v: &[f64]) -> u64 {
+    fn merge_count(v: &mut Vec<f64>, buf: &mut Vec<f64>, lo: usize, hi: usize) -> u64 {
+        if hi - lo <= 1 {
+            return 0;
+        }
+        let mid = (lo + hi) / 2;
+        let mut inv = merge_count(v, buf, lo, mid) + merge_count(v, buf, mid, hi);
+        buf.clear();
+        let (mut i, mut j) = (lo, mid);
+        while i < mid && j < hi {
+            if v[i] <= v[j] {
+                buf.push(v[i]);
+                i += 1;
+            } else {
+                inv += (mid - i) as u64;
+                buf.push(v[j]);
+                j += 1;
+            }
+        }
+        buf.extend_from_slice(&v[i..mid]);
+        buf.extend_from_slice(&v[j..hi]);
+        v[lo..hi].copy_from_slice(buf);
+        inv
+    }
+    let mut work = v.to_vec();
+    let mut buf = Vec::with_capacity(v.len());
+    let n = work.len();
+    merge_count(&mut work, &mut buf, 0, n)
+}
+
+/// Precision@k: fraction of the `k` highest-scored items (by `scores`)
+/// that are among the `k` items with the highest `truth`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > len`.
+pub fn precision_at_k(scores: &[f64], truth: &[f64], k: usize) -> f64 {
+    assert_eq!(scores.len(), truth.len(), "length mismatch");
+    assert!(k >= 1 && k <= scores.len(), "k must be in 1..=len");
+    let top = |vals: &[f64]| -> std::collections::HashSet<usize> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).expect("no NaN").then(a.cmp(&b)));
+        idx.into_iter().take(k).collect()
+    };
+    let hits = top(scores).intersection(&top(truth)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0, 8.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[8.0, 6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate() {
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // monotone but nonlinear: spearman 1, pearson < 1
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.5, 2.5, 4.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_perfect_orders() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((kendall_tau(&x, &[10.0, 20.0, 30.0, 40.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&x, &[40.0, 30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_single_swap() {
+        // one discordant pair out of six: tau = (5-1)/6
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 4.0, 3.0];
+        assert!((kendall_tau(&x, &y) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_matches_naive_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(61);
+        let n = 120;
+        let x: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() * 10.0).round()).collect();
+        let y: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() * 10.0).round()).collect();
+        // naive tau-b
+        let (mut c, mut d, mut tx, mut ty) = (0f64, 0f64, 0f64, 0f64);
+        // NB: not f64::signum — that returns 1.0 for +0.0, which would
+        // silently misclassify ties as concordant pairs.
+        let sign = |d: f64| {
+            if d > 0.0 {
+                1.0
+            } else if d < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let sx = sign(x[i] - x[j]);
+                let sy = sign(y[i] - y[j]);
+                if sx == 0.0 && sy == 0.0 {
+                    // joint tie: excluded from both
+                } else if sx == 0.0 {
+                    tx += 1.0;
+                } else if sy == 0.0 {
+                    ty += 1.0;
+                } else if sx == sy {
+                    c += 1.0;
+                } else {
+                    d += 1.0;
+                }
+            }
+        }
+        let naive = (c - d) / (((c + d + tx) * (c + d + ty)).sqrt());
+        let fast = kendall_tau(&x, &y);
+        assert!((fast - naive).abs() < 1e-9, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn kendall_degenerate() {
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), 0.0);
+        assert_eq!(kendall_tau(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn inversion_counting() {
+        assert_eq!(count_inversions(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(count_inversions(&[3.0, 2.0, 1.0]), 3);
+        assert_eq!(count_inversions(&[2.0, 1.0, 3.0]), 1);
+        assert_eq!(count_inversions(&[1.0, 1.0]), 0);
+        assert_eq!(count_inversions(&[]), 0);
+    }
+
+    #[test]
+    fn precision_at_k_basics() {
+        let truth = [0.9, 0.8, 0.1, 0.2];
+        assert_eq!(precision_at_k(&[10.0, 9.0, 1.0, 2.0], &truth, 2), 1.0);
+        assert_eq!(precision_at_k(&[1.0, 2.0, 10.0, 9.0], &truth, 2), 0.0);
+        assert_eq!(precision_at_k(&[10.0, 1.0, 9.0, 2.0], &truth, 2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn precision_rejects_bad_k() {
+        let _ = precision_at_k(&[1.0], &[1.0], 2);
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    #[test]
+    fn inversions_match_naive() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let v: Vec<f64> = (0..57).map(|_| (rng.random::<f64>() * 8.0).round()).collect();
+            let naive = (0..v.len())
+                .flat_map(|i| ((i + 1)..v.len()).map(move |j| (i, j)))
+                .filter(|&(i, j)| v[i] > v[j])
+                .count() as u64;
+            assert_eq!(count_inversions(&v), naive, "v={v:?}");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the estimation pipeline.
+
+use std::fmt;
+
+/// Errors from quality estimation.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The snapshot series does not satisfy a structural requirement
+    /// (too few snapshots, not aligned, wrong page counts...).
+    BadSeries(String),
+    /// An estimator was asked for something it cannot compute.
+    Estimator(String),
+    /// Propagated graph error.
+    Graph(qrank_graph::GraphError),
+    /// Propagated model error.
+    Model(qrank_model::ModelError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadSeries(msg) => write!(f, "bad snapshot series: {msg}"),
+            CoreError::Estimator(msg) => write!(f, "estimator: {msg}"),
+            CoreError::Graph(e) => write!(f, "graph: {e}"),
+            CoreError::Model(e) => write!(f, "model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qrank_graph::GraphError> for CoreError {
+    fn from(e: qrank_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<qrank_model::ModelError> for CoreError {
+    fn from(e: qrank_model::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::BadSeries("need 3 snapshots".into());
+        assert!(e.to_string().contains("3 snapshots"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: CoreError = qrank_graph::GraphError::UnknownPage(5).into();
+        assert!(e.to_string().contains("5"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CoreError = qrank_model::ModelError::FitFailed("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,111 @@
+//! Human-readable reports from pipeline results.
+//!
+//! One formatting path shared by the CLI, the experiment binaries, and
+//! downstream users: render a [`PipelineReport`] as plain text (the
+//! Figure 5 histogram plus the headline comparison) or as a TSV table of
+//! per-page rows.
+
+use crate::evaluation::ErrorHistogram;
+use crate::PipelineReport;
+
+/// Render the Figure 5-style comparison as plain text.
+pub fn render_summary(report: &PipelineReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pages: {} common, {} selected (changed beyond threshold)\n",
+        report.pages.len(),
+        report.num_selected()
+    ));
+    out.push_str(&format!(
+        "mean relative error vs future: estimate {:.4}, current {:.4} (improvement x{:.2})\n",
+        report.summary_estimate.mean_error,
+        report.summary_current.mean_error,
+        report.improvement_factor()
+    ));
+    out.push_str(&format!(
+        "error < 0.1: estimate {:.1}%, current {:.1}%\n",
+        100.0 * report.summary_estimate.frac_below_01,
+        100.0 * report.summary_current.frac_below_01
+    ));
+    out.push_str(&format!(
+        "error > 1.0: estimate {:.1}%, current {:.1}%\n",
+        100.0 * report.summary_estimate.frac_above_1,
+        100.0 * report.summary_current.frac_above_1
+    ));
+    out.push_str("\nerr bin <=   estimate    current\n");
+    let hq = &report.summary_estimate.histogram;
+    let hp = &report.summary_current.histogram;
+    for (i, edge) in ErrorHistogram::bin_labels().iter().enumerate() {
+        out.push_str(&format!(
+            "{edge:>8.1}   {:>8.1}%  {:>8.1}%\n",
+            100.0 * hq.fractions[i],
+            100.0 * hp.fractions[i]
+        ));
+    }
+    out
+}
+
+/// Render the per-page rows as TSV (header included), in page order.
+pub fn render_tsv(report: &PipelineReport) -> String {
+    let mut out =
+        String::from("page\ttrend\tselected\tcurrent\testimate\tfuture\terr_estimate\terr_current\n");
+    for i in 0..report.pages.len() {
+        out.push_str(&format!(
+            "{}\t{:?}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+            report.pages[i].0,
+            report.trends[i],
+            report.selected[i],
+            report.current[i],
+            report.estimates[i],
+            report.future[i],
+            report.err_estimate[i],
+            report.err_current[i],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_pipeline, PipelineConfig, PopularityMetric};
+    use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
+
+    fn report() -> PipelineReport {
+        let pages: Vec<PageId> = (0..4).map(PageId).collect();
+        let mut s = SnapshotSeries::new();
+        for (i, extra) in [0usize, 1, 2, 3].iter().enumerate() {
+            let mut edges = vec![(0u32, 1u32), (1, 0), (2, 0)];
+            for k in 0..*extra {
+                edges.push((k as u32, 3));
+            }
+            s.push(
+                Snapshot::new(i as f64, CsrGraph::from_edges(4, &edges), pages.clone()).unwrap(),
+            )
+            .unwrap();
+        }
+        run_pipeline(
+            &s,
+            &PipelineConfig { metric: PopularityMetric::InDegree, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_contains_key_sections() {
+        let text = render_summary(&report());
+        assert!(text.contains("mean relative error"));
+        assert!(text.contains("err bin <="));
+        assert!(text.lines().count() > 12);
+    }
+
+    #[test]
+    fn tsv_has_one_row_per_page_plus_header() {
+        let r = report();
+        let tsv = render_tsv(&r);
+        assert_eq!(tsv.lines().count(), r.pages.len() + 1);
+        assert!(tsv.starts_with("page\ttrend"));
+        // the growing page is classified and serialized
+        assert!(tsv.contains("Increasing"));
+    }
+}

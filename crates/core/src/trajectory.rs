@@ -1,0 +1,199 @@
+//! Per-page popularity trajectories across an aligned snapshot series.
+
+use qrank_graph::{PageId, SnapshotSeries};
+
+use crate::{CoreError, PopularityMetric};
+
+/// Popularity of every page at every snapshot time.
+///
+/// Row-major by page: `values[page][k]` is the metric score of `page` at
+/// snapshot `k`. Pages are in aligned-series node order, so index `p`
+/// here corresponds to node `p` in every snapshot and to `pages[p]`
+/// externally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopularityTrajectories {
+    /// Snapshot capture times.
+    pub times: Vec<f64>,
+    /// `values[page][snapshot]`.
+    pub values: Vec<Vec<f64>>,
+    /// External identity of each page row.
+    pub pages: Vec<PageId>,
+}
+
+impl PopularityTrajectories {
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of snapshots.
+    pub fn num_snapshots(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The trajectory of one page as `(time, value)` pairs.
+    pub fn series(&self, page: usize) -> Vec<(f64, f64)> {
+        self.times.iter().copied().zip(self.values[page].iter().copied()).collect()
+    }
+
+    /// Restrict to the first `k` snapshots (e.g. hold out the last one as
+    /// the "future" in the paper's evaluation).
+    pub fn truncated(&self, k: usize) -> PopularityTrajectories {
+        assert!(k >= 1 && k <= self.num_snapshots(), "bad truncation length {k}");
+        PopularityTrajectories {
+            times: self.times[..k].to_vec(),
+            values: self.values.iter().map(|v| v[..k].to_vec()).collect(),
+            pages: self.pages.clone(),
+        }
+    }
+
+    /// Relative change `|v_last − v_first| / v_first` per page; infinite
+    /// when the page started at zero and grew. Used for the paper's
+    /// "changed more than 5%" report filter.
+    pub fn relative_change(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .map(|v| {
+                let first = v[0];
+                let last = *v.last().expect("non-empty trajectory");
+                if first == 0.0 {
+                    if last == 0.0 {
+                        0.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (last - first).abs() / first
+                }
+            })
+            .collect()
+    }
+}
+
+/// Compute trajectories for an *aligned* snapshot series under `metric`.
+///
+/// Errors when the series is empty or not aligned (call
+/// [`SnapshotSeries::aligned_to_common`] first).
+pub fn compute_trajectories(
+    series: &SnapshotSeries,
+    metric: &PopularityMetric,
+) -> Result<PopularityTrajectories, CoreError> {
+    if series.is_empty() {
+        return Err(CoreError::BadSeries("empty snapshot series".into()));
+    }
+    if !series.is_aligned() {
+        return Err(CoreError::BadSeries(
+            "series is not aligned; call aligned_to_common() first".into(),
+        ));
+    }
+    let pages = series.snapshots()[0].pages.clone();
+    let times = series.times();
+    let n = pages.len();
+    let mut values = vec![Vec::with_capacity(times.len()); n];
+    // Consecutive snapshots differ by a small edge delta, so warm-start
+    // each PageRank solve from the previous snapshot's vector.
+    let mut prev: Option<Vec<f64>> = None;
+    for snap in series.snapshots() {
+        let scores = metric.compute_warm(&snap.graph, prev.as_deref());
+        debug_assert_eq!(scores.len(), n);
+        for (p, &v) in scores.iter().enumerate() {
+            values[p].push(v);
+        }
+        prev = Some(scores);
+    }
+    Ok(PopularityTrajectories { times, values, pages })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrank_graph::{CsrGraph, Snapshot};
+
+    fn series() -> SnapshotSeries {
+        let pages = vec![PageId(1), PageId(2), PageId(3)];
+        let mut s = SnapshotSeries::new();
+        s.push(
+            Snapshot::new(0.0, CsrGraph::from_edges(3, &[(0, 1)]), pages.clone()).unwrap(),
+        )
+        .unwrap();
+        s.push(
+            Snapshot::new(1.0, CsrGraph::from_edges(3, &[(0, 1), (2, 1)]), pages.clone()).unwrap(),
+        )
+        .unwrap();
+        s.push(
+            Snapshot::new(
+                2.0,
+                CsrGraph::from_edges(3, &[(0, 1), (2, 1), (0, 2), (1, 0)]),
+                pages,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn indegree_trajectories() {
+        let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
+        assert_eq!(t.num_pages(), 3);
+        assert_eq!(t.num_snapshots(), 3);
+        assert_eq!(t.times, vec![0.0, 1.0, 2.0]);
+        // page 2 (node 1) gains links: 1, 2, 2
+        assert_eq!(t.values[1], vec![1.0, 2.0, 2.0]);
+        // page 3 (node 2): 0, 0, 1
+        assert_eq!(t.values[2], vec![0.0, 0.0, 1.0]);
+        assert_eq!(t.series(1), vec![(0.0, 1.0), (1.0, 2.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    fn pagerank_trajectories_move_with_links() {
+        let t = compute_trajectories(&series(), &PopularityMetric::paper_pagerank()).unwrap();
+        // node 1's PageRank should rise as it gains a second in-link
+        assert!(t.values[1][1] > t.values[1][0]);
+    }
+
+    #[test]
+    fn truncation_holds_out_future() {
+        let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
+        let past = t.truncated(2);
+        assert_eq!(past.num_snapshots(), 2);
+        assert_eq!(past.values[1], vec![1.0, 2.0]);
+        assert_eq!(past.pages, t.pages);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation")]
+    fn truncation_bounds() {
+        let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
+        let _ = t.truncated(9);
+    }
+
+    #[test]
+    fn relative_change_handles_zero_start() {
+        let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
+        let rc = t.relative_change();
+        assert!(rc[0].is_infinite()); // node 0 in-degree: 0 -> 1
+        assert!((rc[1] - 1.0).abs() < 1e-12); // node 1: 1 -> 2
+        assert!(rc[2].is_infinite()); // node 2: 0 -> 1
+    }
+
+    #[test]
+    fn rejects_empty_and_misaligned() {
+        let empty = SnapshotSeries::new();
+        assert!(matches!(
+            compute_trajectories(&empty, &PopularityMetric::InDegree),
+            Err(CoreError::BadSeries(_))
+        ));
+        let mut misaligned = SnapshotSeries::new();
+        misaligned
+            .push(Snapshot::new(0.0, CsrGraph::from_edges(1, &[]), vec![PageId(1)]).unwrap())
+            .unwrap();
+        misaligned
+            .push(Snapshot::new(1.0, CsrGraph::from_edges(1, &[]), vec![PageId(2)]).unwrap())
+            .unwrap();
+        assert!(matches!(
+            compute_trajectories(&misaligned, &PopularityMetric::InDegree),
+            Err(CoreError::BadSeries(_))
+        ));
+    }
+}

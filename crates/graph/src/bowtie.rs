@@ -1,0 +1,194 @@
+//! Bow-tie decomposition of a web graph (Broder et al., WWW 2000).
+//!
+//! The paper's related-work section cites the finding that "the global
+//! link structure of the Web is similar to a bow tie": a giant strongly
+//! connected CORE, an IN set that can reach the core, an OUT set reachable
+//! from the core, TENDRILS hanging off IN/OUT, and DISCONNECTED pages.
+//! The decomposition is a useful sanity check on simulated web graphs —
+//! a realistic generator should produce a dominant core.
+
+use crate::scc::tarjan_scc;
+use crate::traversal::bfs_multi;
+use crate::{CsrGraph, NodeId};
+
+/// The region a node falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BowTieRegion {
+    /// The largest strongly connected component.
+    Core,
+    /// Can reach the core but is not reachable from it.
+    In,
+    /// Reachable from the core but cannot reach it.
+    Out,
+    /// Connected to IN or OUT (weakly) but neither reaches nor is reached
+    /// by the core.
+    Tendril,
+    /// Not weakly connected to the core at all.
+    Disconnected,
+}
+
+/// Full decomposition result.
+#[derive(Debug, Clone)]
+pub struct BowTie {
+    /// Region of each node.
+    pub region: Vec<BowTieRegion>,
+}
+
+impl BowTie {
+    /// Count of nodes per region, as
+    /// `(core, in, out, tendril, disconnected)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for r in &self.region {
+            match r {
+                BowTieRegion::Core => c.0 += 1,
+                BowTieRegion::In => c.1 += 1,
+                BowTieRegion::Out => c.2 += 1,
+                BowTieRegion::Tendril => c.3 += 1,
+                BowTieRegion::Disconnected => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of nodes in the core; 0 for an empty graph.
+    pub fn core_fraction(&self) -> f64 {
+        if self.region.is_empty() {
+            return 0.0;
+        }
+        let (core, ..) = self.counts();
+        core as f64 / self.region.len() as f64
+    }
+}
+
+/// Decompose `g` around its largest strongly connected component.
+pub fn bowtie_decomposition(g: &CsrGraph) -> BowTie {
+    let n = g.num_nodes();
+    if n == 0 {
+        return BowTie { region: Vec::new() };
+    }
+    let scc = tarjan_scc(g);
+    let core_id = scc.largest_component().expect("non-empty graph has an SCC");
+    let core: Vec<NodeId> = scc.members(core_id);
+
+    // OUT* = forward-reachable from core; IN* = backward-reachable.
+    let mut fwd = vec![false; n];
+    for u in bfs_multi(g, &core, usize::MAX) {
+        fwd[u as usize] = true;
+    }
+    let gt = g.transpose();
+    let mut bwd = vec![false; n];
+    for u in bfs_multi(&gt, &core, usize::MAX) {
+        bwd[u as usize] = true;
+    }
+    let in_core = {
+        let mut mask = vec![false; n];
+        for &u in &core {
+            mask[u as usize] = true;
+        }
+        mask
+    };
+
+    // Weak connectivity to the core distinguishes tendrils from
+    // disconnected pieces: BFS over the underlying undirected graph.
+    let mut weak = vec![false; n];
+    {
+        let mut queue: std::collections::VecDeque<NodeId> = core.iter().copied().collect();
+        for &u in &core {
+            weak[u as usize] = true;
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if !weak[v as usize] {
+                    weak[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    let region = (0..n)
+        .map(|u| {
+            if in_core[u] {
+                BowTieRegion::Core
+            } else if bwd[u] && !fwd[u] {
+                BowTieRegion::In
+            } else if fwd[u] && !bwd[u] {
+                BowTieRegion::Out
+            } else if weak[u] {
+                BowTieRegion::Tendril
+            } else {
+                BowTieRegion::Disconnected
+            }
+        })
+        .collect();
+    BowTie { region }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// core {2,3}, in {0 -> 2}, out {3 -> 4}, tendril {0 -> 5},
+    /// disconnected {1 isolated, 6 self-loop}.
+    fn classic() -> CsrGraph {
+        CsrGraph::from_edges(
+            7,
+            &[(2, 3), (3, 2), (0, 2), (3, 4), (0, 5), (6, 6)],
+        )
+    }
+
+    #[test]
+    fn classic_bowtie_regions() {
+        let bt = bowtie_decomposition(&classic());
+        assert_eq!(bt.region[2], BowTieRegion::Core);
+        assert_eq!(bt.region[3], BowTieRegion::Core);
+        assert_eq!(bt.region[0], BowTieRegion::In);
+        assert_eq!(bt.region[4], BowTieRegion::Out);
+        assert_eq!(bt.region[5], BowTieRegion::Tendril);
+        assert_eq!(bt.region[1], BowTieRegion::Disconnected);
+        assert_eq!(bt.region[6], BowTieRegion::Disconnected);
+        assert_eq!(bt.counts(), (2, 1, 1, 1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let bt = bowtie_decomposition(&CsrGraph::from_edges(0, &[]));
+        assert!(bt.region.is_empty());
+        assert_eq!(bt.core_fraction(), 0.0);
+    }
+
+    #[test]
+    fn full_cycle_is_all_core() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let bt = bowtie_decomposition(&g);
+        assert_eq!(bt.counts(), (3, 0, 0, 0, 0));
+        assert!((bt.core_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_chain_core_is_single_node() {
+        // No cycle: largest SCC is a single node (the first singleton).
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let bt = bowtie_decomposition(&g);
+        let (core, inn, out, _, _) = bt.counts();
+        assert_eq!(core, 1);
+        assert_eq!(core + inn + out, 3);
+    }
+
+    #[test]
+    fn node_both_reaching_and_reached_but_not_core() {
+        // Two 2-cycles A={0,1}, B={2,3} with A->B; node 4 on a path from
+        // A to B: reaches core and is reached by... depends which SCC is
+        // largest (tie by size). With sizes equal, largest_component picks
+        // the lowest index = the one popped first by Tarjan = B (sink).
+        let g = CsrGraph::from_edges(
+            5,
+            &[(0, 1), (1, 0), (1, 4), (4, 2), (2, 3), (3, 2)],
+        );
+        let bt = bowtie_decomposition(&g);
+        // core is one of the 2-cycles
+        let (core, ..) = bt.counts();
+        assert_eq!(core, 2);
+    }
+}

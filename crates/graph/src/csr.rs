@@ -1,0 +1,359 @@
+//! Compressed-sparse-row directed graph.
+//!
+//! [`CsrGraph`] is the workhorse read-only representation: two CSR
+//! adjacency structures (forward and transposed) built once from a
+//! [`crate::GraphBuilder`] or an edge list. All ranking algorithms in
+//! `qrank-rank` iterate over these contiguous arrays.
+
+use crate::{GraphError, NodeId};
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Both out-adjacency and in-adjacency are stored so that push-style
+/// (iterate over out-edges) and pull-style (iterate over in-edges)
+/// algorithms are equally cheap. Neighbor lists are sorted and
+/// deduplicated: this matches the web-graph setting, where a page either
+/// links to another page or it does not (multiplicities carry no signal
+/// for PageRank as the paper uses it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets`.
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Build from a number of nodes and a list of directed edges.
+    ///
+    /// Edges are sorted and deduplicated; self-loops are kept (the random
+    /// surfer may follow them, and the paper's PageRank formulation does
+    /// not exclude them). Edges referencing nodes `>= num_nodes` grow the
+    /// graph to include them.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut n = num_nodes;
+        for &(u, v) in edges {
+            n = n.max(u as usize + 1).max(v as usize + 1);
+        }
+        let mut sorted: Vec<(NodeId, NodeId)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self::from_sorted_dedup_edges(n, &sorted)
+    }
+
+    /// Build from edges already sorted by `(src, dst)` and deduplicated.
+    ///
+    /// This is the fast path used by [`crate::GraphBuilder::build`].
+    /// Debug builds assert the precondition.
+    pub fn from_sorted_dedup_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        let mut out_offsets = vec![0usize; num_nodes + 1];
+        let mut in_degree = vec![0usize; num_nodes];
+        for &(u, v) in edges {
+            out_offsets[u as usize + 1] += 1;
+            in_degree[v as usize] += 1;
+        }
+        for i in 0..num_nodes {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        let mut in_offsets = vec![0usize; num_nodes + 1];
+        for v in 0..num_nodes {
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; edges.len()];
+        for &(u, v) in edges {
+            let c = &mut cursor[v as usize];
+            in_sources[*c] = u;
+            *c += 1;
+        }
+        CsrGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of (deduplicated) directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// True if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0
+    }
+
+    /// Out-neighbors of `u`, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `u >= num_nodes()`.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// In-neighbors of `v` (pages linking to `v`), sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `v >= num_nodes()`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_neighbors(u).len()
+    }
+
+    /// In-degree of `v` — the page's raw link count, which the paper
+    /// notes can substitute for PageRank in the quality estimator.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Checked variant of [`Self::out_neighbors`].
+    pub fn try_out_neighbors(&self, u: NodeId) -> Result<&[NodeId], GraphError> {
+        if (u as usize) < self.num_nodes() {
+            Ok(self.out_neighbors(u))
+        } else {
+            Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes: self.num_nodes() as u64 })
+        }
+    }
+
+    /// True if edge `u -> v` exists (binary search over sorted neighbors).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        (u as usize) < self.num_nodes() && self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges in `(src, dst)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Nodes with no outgoing links ("dangling" pages). The paper treats
+    /// these as linking to every page; `qrank-rank` offers that and other
+    /// strategies.
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId).filter(|&u| self.out_degree(u) == 0).collect()
+    }
+
+    /// The transposed graph (every edge reversed). O(E).
+    pub fn transpose(&self) -> CsrGraph {
+        CsrGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Induced subgraph on `keep` (sorted, deduplicated internally).
+    ///
+    /// Returns the subgraph plus the mapping `new id -> old id`. Nodes are
+    /// relabeled densely in the order of the sorted `keep` list. This is
+    /// the operation the paper applies when restricting each crawl to the
+    /// 2.7M pages common to all four snapshots.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
+        let mut keep: Vec<NodeId> = keep.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        keep.retain(|&u| (u as usize) < self.num_nodes());
+        let mut old_to_new: Vec<NodeId> = vec![NodeId::MAX; self.num_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            old_to_new[old as usize] = new as NodeId;
+        }
+        let mut edges = Vec::new();
+        for (new_u, &old_u) in keep.iter().enumerate() {
+            for &old_v in self.out_neighbors(old_u) {
+                let new_v = old_to_new[old_v as usize];
+                if new_v != NodeId::MAX {
+                    edges.push((new_u as NodeId, new_v));
+                }
+            }
+        }
+        // Edges inherit sortedness from iteration order.
+        (CsrGraph::from_sorted_dedup_edges(keep.len(), &edges), keep)
+    }
+
+    /// Relabel nodes by `perm`, where `perm[old] = new`. `perm` must be a
+    /// permutation of `0..num_nodes`.
+    pub fn relabel(&self, perm: &[NodeId]) -> Result<CsrGraph, GraphError> {
+        let n = self.num_nodes();
+        if perm.len() != n {
+            return Err(GraphError::MisalignedSnapshots(format!(
+                "permutation length {} != num_nodes {n}",
+                perm.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &p in perm {
+            if (p as usize) >= n || seen[p as usize] {
+                return Err(GraphError::MisalignedSnapshots("not a permutation".into()));
+            }
+            seen[p as usize] = true;
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .edges()
+            .map(|(u, v)| (perm[u as usize], perm[v as usize]))
+            .collect();
+        edges.sort_unstable();
+        Ok(CsrGraph::from_sorted_dedup_edges(n, &edges))
+    }
+
+    /// Total bytes of the adjacency arrays (for memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.dangling_nodes().is_empty());
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_dangling() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        assert_eq!(g.dangling_nodes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_grow_node_count() {
+        let g = CsrGraph::from_edges(0, &[(2, 5)]);
+        assert_eq!(g.num_nodes(), 6);
+        assert!(g.has_edge(2, 5));
+        assert!(!g.has_edge(5, 2));
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.in_degree(0), 1);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u));
+        }
+        // double transpose is identity
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_complete() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_densely() {
+        let g = diamond();
+        let (sub, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(map, vec![0, 1, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        // surviving edges: 0->1, 1->3 (as 1->2), 3->0 (as 2->0)
+        let edges: Vec<_> = sub.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_out_of_range_and_dups() {
+        let g = diamond();
+        let (sub, map) = g.induced_subgraph(&[3, 3, 0, 99]);
+        assert_eq!(map, vec![0, 3]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.edges().collect::<Vec<_>>(), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn try_out_neighbors_bounds_check() {
+        let g = diamond();
+        assert!(g.try_out_neighbors(3).is_ok());
+        assert!(matches!(
+            g.try_out_neighbors(4),
+            Err(GraphError::NodeOutOfBounds { node: 4, num_nodes: 4 })
+        ));
+    }
+
+    #[test]
+    fn relabel_identity_and_rotation() {
+        let g = diamond();
+        let id: Vec<NodeId> = (0..4).collect();
+        assert_eq!(g.relabel(&id).unwrap(), g);
+        let rot: Vec<NodeId> = vec![1, 2, 3, 0];
+        let r = g.relabel(&rot).unwrap();
+        // edge 0->1 becomes 1->2
+        assert!(r.has_edge(1, 2));
+        assert_eq!(r.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn relabel_rejects_non_permutations() {
+        let g = diamond();
+        assert!(g.relabel(&[0, 0, 1, 2]).is_err());
+        assert!(g.relabel(&[0, 1, 2]).is_err());
+        assert!(g.relabel(&[0, 1, 2, 9]).is_err());
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_edges() {
+        let small = CsrGraph::from_edges(2, &[(0, 1)]);
+        let big = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(big.heap_bytes() > small.heap_bytes());
+    }
+}

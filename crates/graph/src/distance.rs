@@ -1,0 +1,247 @@
+//! Shortest paths and diameter estimation.
+//!
+//! Albert, Barabási & Jeong's "Diameter of the World Wide Web" (reference
+//! \[3\] of the paper) established the web's small-world structure —
+//! ~19 clicks between any two documents. This module provides unweighted
+//! shortest-path machinery (BFS distances) and the sampled
+//! average-distance / effective-diameter estimators used to check that a
+//! simulated web has realistic navigability.
+
+use rand::Rng;
+
+use crate::{CsrGraph, NodeId};
+
+/// Distance marker for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS distances from `start` following out-edges. Unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &CsrGraph, start: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![UNREACHABLE; n];
+    if (start as usize) >= n {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path length from `src` to `dst`, if any.
+pub fn shortest_path_len(g: &CsrGraph, src: NodeId, dst: NodeId) -> Option<u32> {
+    if (dst as usize) >= g.num_nodes() {
+        return None;
+    }
+    let d = bfs_distances(g, src)[dst as usize];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// One shortest path from `src` to `dst` (as a node list, inclusive), if
+/// any. BFS parent reconstruction.
+pub fn shortest_path(g: &CsrGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    if (src as usize) >= n || (dst as usize) >= n {
+        return None;
+    }
+    let mut parent = vec![NodeId::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[src as usize] = true;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            break;
+        }
+        for &v in g.out_neighbors(u) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[dst as usize] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = parent[cur as usize];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Statistics from a sampled distance survey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceSurvey {
+    /// Mean finite distance over sampled reachable pairs.
+    pub mean_distance: f64,
+    /// 90th-percentile finite distance (the "effective diameter").
+    pub effective_diameter: u32,
+    /// Largest finite distance observed in the sample.
+    pub max_observed: u32,
+    /// Fraction of sampled (src, dst) pairs that were reachable.
+    pub reachable_fraction: f64,
+    /// Number of source nodes sampled.
+    pub sources_sampled: usize,
+}
+
+/// Estimate distance statistics by running BFS from `sources` random
+/// start nodes and aggregating all finite pairwise distances.
+///
+/// # Panics
+/// Panics if `sources == 0` or the graph is empty.
+pub fn sample_distances<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    sources: usize,
+    rng: &mut R,
+) -> DistanceSurvey {
+    assert!(sources >= 1, "need at least one source");
+    let n = g.num_nodes();
+    assert!(n > 0, "graph must be non-empty");
+    let mut finite: Vec<u32> = Vec::new();
+    let mut pairs = 0usize;
+    for _ in 0..sources {
+        let s = rng.random_range(0..n) as NodeId;
+        let dist = bfs_distances(g, s);
+        for (v, &d) in dist.iter().enumerate() {
+            if v == s as usize {
+                continue;
+            }
+            pairs += 1;
+            if d != UNREACHABLE {
+                finite.push(d);
+            }
+        }
+    }
+    finite.sort_unstable();
+    let mean = if finite.is_empty() {
+        0.0
+    } else {
+        finite.iter().map(|&d| d as f64).sum::<f64>() / finite.len() as f64
+    };
+    let eff = if finite.is_empty() {
+        0
+    } else {
+        finite[((finite.len() as f64 * 0.9) as usize).min(finite.len() - 1)]
+    };
+    DistanceSurvey {
+        mean_distance: mean,
+        effective_diameter: eff,
+        max_observed: finite.last().copied().unwrap_or(0),
+        reachable_fraction: if pairs == 0 { 0.0 } else { finite.len() as f64 / pairs as f64 },
+        sources_sampled: sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn distances_on_chain() {
+        let g = chain(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        // backwards unreachable
+        let d = bfs_distances(&g, 4);
+        assert_eq!(d[0], UNREACHABLE);
+        assert_eq!(d[4], 0);
+    }
+
+    #[test]
+    fn distances_out_of_range_start() {
+        let g = chain(3);
+        let d = bfs_distances(&g, 99);
+        assert!(d.iter().all(|&x| x == UNREACHABLE));
+    }
+
+    #[test]
+    fn shortest_path_len_and_reconstruction() {
+        // diamond with a shortcut: 0->1->3, 0->2->3, 0->3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]);
+        assert_eq!(shortest_path_len(&g, 0, 3), Some(1));
+        assert_eq!(shortest_path(&g, 0, 3), Some(vec![0, 3]));
+        assert_eq!(shortest_path_len(&g, 1, 2), None);
+        assert_eq!(shortest_path(&g, 1, 2), None);
+        assert_eq!(shortest_path(&g, 0, 0), Some(vec![0]));
+        assert_eq!(shortest_path_len(&g, 0, 99), None);
+    }
+
+    #[test]
+    fn path_has_consecutive_edges() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 2)]);
+        let p = shortest_path(&g, 0, 5).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&5));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "non-edge {w:?} in path");
+        }
+        // shortcut used: 0->2->3->4->5 (4 hops) beats 0->1->2->... (5)
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn survey_on_cycle() {
+        let n = 10;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_distances(&g, 5, &mut rng);
+        // on a directed 10-cycle every pair is reachable, mean = 5
+        assert!((s.mean_distance - 5.0).abs() < 1e-9);
+        assert_eq!(s.max_observed, 9);
+        assert!((s.reachable_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(s.effective_diameter, 9);
+    }
+
+    #[test]
+    fn survey_reports_unreachability() {
+        // two disconnected halves
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = sample_distances(&g, 20, &mut rng);
+        assert!(s.reachable_fraction < 0.5);
+    }
+
+    #[test]
+    fn small_world_in_ba_graph() {
+        use crate::generators::barabasi_albert;
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(2000, 3, &mut rng);
+        // BA edges point new -> old; use the undirected-ish union for a
+        // navigability check by surveying the transpose too
+        let s = sample_distances(&g, 10, &mut rng);
+        if s.reachable_fraction > 0.1 {
+            assert!(s.mean_distance < 15.0, "BA graphs are small worlds: {}", s.mean_distance);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn survey_rejects_zero_sources() {
+        let g = chain(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = sample_distances(&g, 0, &mut rng);
+    }
+}

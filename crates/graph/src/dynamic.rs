@@ -1,0 +1,282 @@
+//! A timestamped, append-only view of an evolving directed graph.
+//!
+//! The paper's estimator is *temporal*: it needs the web "as of" several
+//! points in time. [`DynamicGraph`] records node births and edge
+//! additions/removals as a time-ordered event log and can materialize the
+//! graph at any instant as a [`CsrGraph`]. The `qrank-sim` crate drives
+//! one of these while simulated users create links; the snapshot crawler
+//! then calls [`DynamicGraph::snapshot_at`] on the paper's schedule.
+
+use crate::{CsrGraph, GraphError, NodeId};
+
+/// One entry in the edge event log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeEvent {
+    /// Edge `src -> dst` came into existence at `at`.
+    Added {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Timestamp.
+        at: f64,
+    },
+    /// Edge `src -> dst` was removed at `at` (a page dropped a link —
+    /// needed by the paper's "decreasing popularity" future-work model).
+    Removed {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Timestamp.
+        at: f64,
+    },
+}
+
+impl EdgeEvent {
+    /// Timestamp of the event.
+    pub fn at(&self) -> f64 {
+        match *self {
+            EdgeEvent::Added { at, .. } | EdgeEvent::Removed { at, .. } => at,
+        }
+    }
+}
+
+/// An evolving directed graph recorded as an event log.
+///
+/// Events must be appended in non-decreasing time order (enforced), which
+/// lets [`snapshot_at`](Self::snapshot_at) replay a prefix with a binary
+/// search instead of a full scan sort.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    /// `node_birth[u]` = time node `u` was created.
+    node_birth: Vec<f64>,
+    events: Vec<EdgeEvent>,
+}
+
+impl DynamicGraph {
+    /// An empty evolving graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes ever created.
+    pub fn num_nodes(&self) -> usize {
+        self.node_birth.len()
+    }
+
+    /// Number of logged edge events (adds + removes).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Birth time of node `u`.
+    pub fn birth_time(&self, u: NodeId) -> Option<f64> {
+        self.node_birth.get(u as usize).copied()
+    }
+
+    /// Create a node at time `at`; returns its id.
+    ///
+    /// Node creations may interleave with edge events but must also be
+    /// non-decreasing in time relative to the event log.
+    pub fn add_node(&mut self, at: f64) -> Result<NodeId, GraphError> {
+        self.check_order(at)?;
+        let id = self.node_birth.len() as NodeId;
+        self.node_birth.push(at);
+        Ok(id)
+    }
+
+    /// Record edge `src -> dst` appearing at time `at`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, at: f64) -> Result<(), GraphError> {
+        self.check_order(at)?;
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        self.events.push(EdgeEvent::Added { src, dst, at });
+        Ok(())
+    }
+
+    /// Record edge `src -> dst` disappearing at time `at`.
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, at: f64) -> Result<(), GraphError> {
+        self.check_order(at)?;
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        self.events.push(EdgeEvent::Removed { src, dst, at });
+        Ok(())
+    }
+
+    fn latest_time(&self) -> f64 {
+        let ev = self.events.last().map(EdgeEvent::at).unwrap_or(f64::NEG_INFINITY);
+        let nb = self.node_birth.last().copied().unwrap_or(f64::NEG_INFINITY);
+        ev.max(nb)
+    }
+
+    fn check_order(&self, at: f64) -> Result<(), GraphError> {
+        let latest = self.latest_time();
+        if at < latest {
+            return Err(GraphError::OutOfOrderEvent { at, latest });
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, u: NodeId) -> Result<(), GraphError> {
+        if (u as usize) < self.node_birth.len() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfBounds {
+                node: u as u64,
+                num_nodes: self.node_birth.len() as u64,
+            })
+        }
+    }
+
+    /// Nodes alive at time `t` (created at or before `t`).
+    pub fn nodes_at(&self, t: f64) -> Vec<NodeId> {
+        (0..self.node_birth.len() as NodeId)
+            .filter(|&u| self.node_birth[u as usize] <= t)
+            .collect()
+    }
+
+    /// Edges alive at time `t`: added at or before `t` and not
+    /// subsequently removed at or before `t`. Sorted, deduplicated.
+    pub fn edges_at(&self, t: f64) -> Vec<(NodeId, NodeId)> {
+        // Events are time-ordered; replay the prefix.
+        let end = self.events.partition_point(|e| e.at() <= t);
+        let mut alive: std::collections::BTreeSet<(NodeId, NodeId)> =
+            std::collections::BTreeSet::new();
+        for e in &self.events[..end] {
+            match *e {
+                EdgeEvent::Added { src, dst, .. } => {
+                    alive.insert((src, dst));
+                }
+                EdgeEvent::Removed { src, dst, .. } => {
+                    alive.remove(&(src, dst));
+                }
+            }
+        }
+        alive.into_iter().collect()
+    }
+
+    /// Materialize the graph at time `t` over *all ever-created* node ids
+    /// (nodes not yet born appear isolated). Use
+    /// [`snapshot_at`](Self::snapshot_at) to restrict to alive nodes.
+    pub fn graph_at_full(&self, t: f64) -> CsrGraph {
+        CsrGraph::from_sorted_dedup_edges(self.num_nodes(), &self.edges_at(t))
+    }
+
+    /// Materialize the graph at time `t`, restricted to nodes alive at
+    /// `t`. Returns the relabeled graph plus `new id -> original id`.
+    pub fn snapshot_at(&self, t: f64) -> (CsrGraph, Vec<NodeId>) {
+        let full = self.graph_at_full(t);
+        let alive = self.nodes_at(t);
+        full.induced_subgraph(&alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicGraph {
+        let mut d = DynamicGraph::new();
+        let a = d.add_node(0.0).unwrap();
+        let b = d.add_node(0.0).unwrap();
+        d.add_edge(a, b, 1.0).unwrap();
+        let c = d.add_node(2.0).unwrap();
+        d.add_edge(b, c, 3.0).unwrap();
+        d.add_edge(c, a, 3.0).unwrap();
+        d.remove_edge(a, b, 4.0).unwrap();
+        d
+    }
+
+    #[test]
+    fn nodes_appear_at_birth() {
+        let d = sample();
+        assert_eq!(d.nodes_at(0.0), vec![0, 1]);
+        assert_eq!(d.nodes_at(1.9), vec![0, 1]);
+        assert_eq!(d.nodes_at(2.0), vec![0, 1, 2]);
+        assert_eq!(d.birth_time(2), Some(2.0));
+        assert_eq!(d.birth_time(9), None);
+    }
+
+    #[test]
+    fn edges_respect_add_and_remove_times() {
+        let d = sample();
+        assert!(d.edges_at(0.5).is_empty());
+        assert_eq!(d.edges_at(1.0), vec![(0, 1)]);
+        assert_eq!(d.edges_at(3.5), vec![(0, 1), (1, 2), (2, 0)]);
+        // after removal at t=4, 0->1 is gone
+        assert_eq!(d.edges_at(4.0), vec![(1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn snapshot_restricts_to_alive_nodes() {
+        let d = sample();
+        let (g, map) = d.snapshot_at(1.0);
+        assert_eq!(map, vec![0, 1]);
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.has_edge(0, 1));
+        let (g3, map3) = d.snapshot_at(10.0);
+        assert_eq!(map3, vec![0, 1, 2]);
+        assert_eq!(g3.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let mut d = DynamicGraph::new();
+        let a = d.add_node(5.0).unwrap();
+        let b = d.add_node(5.0).unwrap();
+        assert!(matches!(
+            d.add_edge(a, b, 4.0),
+            Err(GraphError::OutOfOrderEvent { .. })
+        ));
+        // equal times are fine
+        d.add_edge(a, b, 5.0).unwrap();
+        // node births are also ordered
+        assert!(d.add_node(1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_nodes() {
+        let mut d = DynamicGraph::new();
+        let a = d.add_node(0.0).unwrap();
+        assert!(matches!(
+            d.add_edge(a, 7, 1.0),
+            Err(GraphError::NodeOutOfBounds { node: 7, .. })
+        ));
+        assert!(d.remove_edge(9, a, 1.0).is_err());
+    }
+
+    #[test]
+    fn re_adding_removed_edge_revives_it() {
+        let mut d = DynamicGraph::new();
+        let a = d.add_node(0.0).unwrap();
+        let b = d.add_node(0.0).unwrap();
+        d.add_edge(a, b, 1.0).unwrap();
+        d.remove_edge(a, b, 2.0).unwrap();
+        d.add_edge(a, b, 3.0).unwrap();
+        assert!(d.edges_at(2.5).is_empty());
+        assert_eq!(d.edges_at(3.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let mut d = DynamicGraph::new();
+        let a = d.add_node(0.0).unwrap();
+        let b = d.add_node(0.0).unwrap();
+        d.add_edge(a, b, 1.0).unwrap();
+        d.add_edge(a, b, 2.0).unwrap();
+        assert_eq!(d.edges_at(3.0), vec![(0, 1)]);
+        // one remove kills it (set semantics, matching the web: a link
+        // either exists on the page or it does not)
+        d.remove_edge(a, b, 3.5).unwrap();
+        assert!(d.edges_at(4.0).is_empty());
+    }
+
+    #[test]
+    fn event_timestamp_accessor() {
+        let e = EdgeEvent::Added { src: 0, dst: 1, at: 2.5 };
+        assert_eq!(e.at(), 2.5);
+        let e = EdgeEvent::Removed { src: 0, dst: 1, at: 3.5 };
+        assert_eq!(e.at(), 3.5);
+    }
+}

@@ -1,0 +1,348 @@
+//! Graph and snapshot serialization.
+//!
+//! Two formats:
+//!
+//! * A line-oriented **text edge list** (`src<TAB>dst`, `#` comments) for
+//!   interoperability with standard web-graph datasets.
+//! * A compact **binary format** (magic + little-endian sections, via
+//!   `bytes`) for fast checkpointing of snapshot series between the
+//!   simulation and analysis stages.
+
+use std::io::{BufRead, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{CsrGraph, GraphError, NodeId, PageId, Snapshot, SnapshotSeries};
+
+/// Write `g` as a text edge list.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# nodes: {}", g.num_nodes())?;
+    writeln!(w, "# edges: {}", g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+/// Read a text edge list. Recognizes the `# nodes: N` header (to preserve
+/// trailing isolated nodes); otherwise the node count is inferred from the
+/// maximum id seen.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut declared_nodes = 0usize;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("nodes:") {
+                declared_nodes = n.trim().parse().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    msg: format!("bad node count: {e}"),
+                })?;
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<NodeId, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: "expected `src dst`".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, msg: format!("bad node id: {e}") })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        if it.next().is_some() {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                msg: "trailing tokens after edge".into(),
+            });
+        }
+        edges.push((u, v));
+    }
+    Ok(CsrGraph::from_edges(declared_nodes, &edges))
+}
+
+const GRAPH_MAGIC: u32 = 0x5152_4B47; // "QRKG"
+const SERIES_MAGIC: u32 = 0x5152_4B53; // "QRKS"
+const FORMAT_VERSION: u16 = 1;
+
+/// Encode a graph to the binary format.
+pub fn encode_graph(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_edges() * 8);
+    buf.put_u32_le(GRAPH_MAGIC);
+    buf.put_u16_le(FORMAT_VERSION);
+    buf.put_u64_le(g.num_nodes() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for (u, v) in g.edges() {
+        buf.put_u32_le(u);
+        buf.put_u32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Decode a graph from the binary format.
+pub fn decode_graph(mut buf: &[u8]) -> Result<CsrGraph, GraphError> {
+    decode_graph_section(&mut buf)
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), GraphError> {
+    if buf.remaining() < n {
+        Err(GraphError::Decode(format!("truncated while reading {what}")))
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_graph_section(buf: &mut &[u8]) -> Result<CsrGraph, GraphError> {
+    need(buf, 4 + 2 + 8 + 8, "graph header")?;
+    let magic = buf.get_u32_le();
+    if magic != GRAPH_MAGIC {
+        return Err(GraphError::Decode(format!("bad graph magic {magic:#x}")));
+    }
+    let version = buf.get_u16_le();
+    if version != FORMAT_VERSION {
+        return Err(GraphError::Decode(format!("unsupported version {version}")));
+    }
+    let nodes64 = buf.get_u64_le();
+    let edges64 = buf.get_u64_le();
+    // Guard allocations against corrupt headers: edge bytes must fit the
+    // remaining payload (checked multiply — a crafted count must not
+    // overflow into a small value), node ids must fit u32, and the node
+    // count must be plausible relative to the payload so a flipped bit
+    // cannot demand a terabyte of offsets for a kilobyte of edges.
+    let edge_bytes = edges64
+        .checked_mul(8)
+        .ok_or_else(|| GraphError::Decode(format!("edge count {edges64} overflows")))?;
+    if edge_bytes > buf.remaining() as u64 {
+        return Err(GraphError::Decode("truncated while reading edge array".into()));
+    }
+    if nodes64 > u32::MAX as u64 {
+        return Err(GraphError::Decode(format!("node count {nodes64} exceeds u32 ids")));
+    }
+    const ISOLATED_ALLOWANCE: u64 = 1 << 20;
+    if nodes64 > edges64.saturating_mul(64).saturating_add(ISOLATED_ALLOWANCE) {
+        return Err(GraphError::Decode(format!(
+            "implausible header: {nodes64} nodes for {edges64} edges"
+        )));
+    }
+    let nodes = nodes64 as usize;
+    let edges = edges64 as usize;
+    let mut list = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        if u as usize >= nodes || v as usize >= nodes {
+            return Err(GraphError::Decode(format!("edge ({u},{v}) out of bounds")));
+        }
+        list.push((u, v));
+    }
+    if !list.windows(2).all(|w| w[0] < w[1]) {
+        return Err(GraphError::Decode("edges not sorted/deduplicated".into()));
+    }
+    Ok(CsrGraph::from_sorted_dedup_edges(nodes, &list))
+}
+
+/// Encode a snapshot series (times, page ids, and graphs) to bytes.
+pub fn encode_series(series: &SnapshotSeries) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(SERIES_MAGIC);
+    buf.put_u16_le(FORMAT_VERSION);
+    buf.put_u32_le(series.len() as u32);
+    for s in series.snapshots() {
+        buf.put_f64_le(s.time);
+        buf.put_u64_le(s.pages.len() as u64);
+        for p in &s.pages {
+            buf.put_u64_le(p.0);
+        }
+        buf.put(encode_graph(&s.graph));
+    }
+    buf.freeze()
+}
+
+/// Decode a snapshot series.
+pub fn decode_series(mut buf: &[u8]) -> Result<SnapshotSeries, GraphError> {
+    need(buf, 4 + 2 + 4, "series header")?;
+    let magic = buf.get_u32_le();
+    if magic != SERIES_MAGIC {
+        return Err(GraphError::Decode(format!("bad series magic {magic:#x}")));
+    }
+    let version = buf.get_u16_le();
+    if version != FORMAT_VERSION {
+        return Err(GraphError::Decode(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut series = SnapshotSeries::new();
+    for _ in 0..count {
+        need(buf, 8 + 8, "snapshot header")?;
+        let time = buf.get_f64_le();
+        let npages64 = buf.get_u64_le();
+        let page_bytes = npages64
+            .checked_mul(8)
+            .ok_or_else(|| GraphError::Decode(format!("page count {npages64} overflows")))?;
+        if page_bytes > buf.remaining() as u64 {
+            return Err(GraphError::Decode("truncated while reading page ids".into()));
+        }
+        let npages = npages64 as usize;
+        let mut pages = Vec::with_capacity(npages);
+        for _ in 0..npages {
+            pages.push(PageId(buf.get_u64_le()));
+        }
+        let graph = decode_graph_section(&mut buf)?;
+        series.push(Snapshot::new(time, graph, pages)?)?;
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample_graph() -> CsrGraph {
+        let mut b = GraphBuilder::with_nodes(5);
+        b.add_edges([(0, 1), (0, 2), (1, 3), (3, 0), (4, 0)]);
+        b.build()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample_graph();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let back = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_preserves_isolated_trailing_nodes() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]); // nodes 2..9 isolated
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let back = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(back.num_nodes(), 10);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blank_lines() {
+        let input = "# a comment\n\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(input.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(matches!(
+            read_edge_list("0 x\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("0 1 2\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list("# nodes: banana\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample_graph();
+        let bytes = encode_graph(&g);
+        let back = decode_graph(&bytes).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(decode_graph(&encode_graph(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample_graph();
+        let bytes = encode_graph(&g);
+        // bad magic
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_graph(&bad), Err(GraphError::Decode(_))));
+        // truncation
+        assert!(matches!(decode_graph(&bytes[..bytes.len() - 3]), Err(GraphError::Decode(_))));
+        // empty
+        assert!(decode_graph(&[]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_bounds_edges() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(GRAPH_MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u64_le(1); // 1 node
+        buf.put_u64_le(1); // 1 edge
+        buf.put_u32_le(0);
+        buf.put_u32_le(5); // target out of bounds
+        assert!(matches!(decode_graph(&buf), Err(GraphError::Decode(_))));
+    }
+
+    #[test]
+    fn series_roundtrip() {
+        let mut series = SnapshotSeries::new();
+        let g1 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        series
+            .push(Snapshot::new(0.0, g1, vec![PageId(10), PageId(20), PageId(30)]).unwrap())
+            .unwrap();
+        series
+            .push(Snapshot::new(1.5, g2, vec![PageId(10), PageId(20), PageId(30)]).unwrap())
+            .unwrap();
+        let bytes = encode_series(&series);
+        let back = decode_series(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.times(), vec![0.0, 1.5]);
+        assert_eq!(back.snapshots()[1].graph, series.snapshots()[1].graph);
+        assert_eq!(back.snapshots()[0].pages, series.snapshots()[0].pages);
+    }
+
+    #[test]
+    fn binary_rejects_implausible_node_counts() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(GRAPH_MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u64_le(u64::MAX); // absurd node count
+        buf.put_u64_le(0);
+        assert!(matches!(decode_graph(&buf), Err(GraphError::Decode(_))));
+
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(GRAPH_MAGIC);
+        buf.put_u16_le(FORMAT_VERSION);
+        buf.put_u64_le(4);
+        buf.put_u64_le(u64::MAX / 4); // edge byte count would overflow
+        assert!(matches!(decode_graph(&buf), Err(GraphError::Decode(_))));
+    }
+
+    #[test]
+    fn large_isolated_graphs_still_roundtrip() {
+        // the plausibility guard must not reject legitimate graphs with
+        // many isolated nodes (up to the documented allowance)
+        let g = CsrGraph::from_edges(1 << 20, &[(0, 1)]);
+        assert_eq!(decode_graph(&encode_graph(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn series_rejects_graph_magic_in_series_position() {
+        let g = sample_graph();
+        let bytes = encode_graph(&g);
+        assert!(matches!(decode_series(&bytes), Err(GraphError::Decode(_))));
+    }
+}

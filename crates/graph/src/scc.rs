@@ -1,0 +1,205 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Needed by [`crate::bowtie`] for the Broder et al. "bow tie"
+//! decomposition the paper cites when discussing the global structure of
+//! the web, and useful for diagnosing rank sinks in PageRank.
+
+use crate::{CsrGraph, NodeId};
+
+/// Result of an SCC computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccResult {
+    /// `component[u]` = dense component index of node `u`. Components are
+    /// numbered in *reverse topological order* of the condensation (a
+    /// property of Tarjan's algorithm): if there is an edge from component
+    /// `a` to component `b` with `a != b`, then `a > b`.
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl SccResult {
+    /// Size of each component.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Index of the largest component (ties broken by lowest index);
+    /// `None` on an empty graph.
+    pub fn largest_component(&self) -> Option<u32> {
+        let sizes = self.component_sizes();
+        sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+    }
+
+    /// Members of component `c`, ascending.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.component
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(u, _)| u as NodeId)
+            .collect()
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm, fully iterative so
+/// deep web graphs (long link chains) cannot overflow the stack.
+pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
+    let n = g.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (u, ref mut child)) = frames.last_mut() {
+            let neighbors = g.out_neighbors(u);
+            if *child < neighbors.len() {
+                let v = neighbors[*child];
+                *child += 1;
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    frames.push((v, 0));
+                } else if on_stack[v as usize] {
+                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[u as usize]);
+                }
+                if lowlink[u as usize] == index[u as usize] {
+                    // u is an SCC root; pop its members.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccResult { component, num_components: num_components as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 1);
+        assert!(r.component.iter().all(|&c| c == 0));
+        assert_eq!(r.members(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 3);
+        assert_eq!(r.component_sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        // A: {0,1} cycle -> B: {2,3} cycle
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 2);
+        let ca = r.component[0];
+        let cb = r.component[2];
+        assert_ne!(ca, cb);
+        // Edge from A's component to B's component => A numbered later.
+        assert!(ca > cb);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} cycle, {3,4} cycle, bridge 1->2->3
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 3);
+        assert_eq!(r.component[0], r.component[1]);
+        assert_eq!(r.component[3], r.component[4]);
+        assert_ne!(r.component[0], r.component[3]);
+        assert_ne!(r.component[2], r.component[0]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 0);
+        assert!(r.largest_component().is_none());
+
+        let g = CsrGraph::from_edges(3, &[]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 3);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 2);
+    }
+
+    #[test]
+    fn largest_component_detection() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let r = tarjan_scc(&g);
+        let big = r.largest_component().unwrap();
+        assert_eq!(r.component_sizes()[big as usize], 3);
+        assert_eq!(r.members(big), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node chain with a back edge forming one giant cycle; a
+        // recursive Tarjan would blow the stack here.
+        let n = 100_000u32;
+        let mut edges: Vec<(NodeId, NodeId)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Web snapshots and snapshot series.
+//!
+//! Section 8 of the paper: download the same sites several times, keep
+//! the pages *common to all snapshots* (2.7M of 5M in the paper), and
+//! compute PageRank on each snapshot's induced subgraph. A [`Snapshot`]
+//! pairs a [`CsrGraph`] with the stable external identity ([`PageId`]) of
+//! each node; a [`SnapshotSeries`] aligns several snapshots onto a shared
+//! node numbering so per-page time series (PageRank trajectories) are a
+//! simple array lookup.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CsrGraph, GraphError, NodeId};
+
+/// Stable external identity of a page (URL hash in a real crawler; the
+/// simulator's page index here). Unlike [`NodeId`], a `PageId` means the
+/// same page in every snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PageId(pub u64);
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page:{}", self.0)
+    }
+}
+
+/// The link structure of a page corpus captured at one instant.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Capture time (same unit as the simulator clock; months in the
+    /// paper's timeline).
+    pub time: f64,
+    /// Link graph among the captured pages.
+    pub graph: CsrGraph,
+    /// `pages[node]` = external identity of `node`. Length equals
+    /// `graph.num_nodes()`.
+    pub pages: Vec<PageId>,
+}
+
+impl Snapshot {
+    /// Construct, validating that `pages` labels every node exactly once.
+    pub fn new(time: f64, graph: CsrGraph, pages: Vec<PageId>) -> Result<Self, GraphError> {
+        if pages.len() != graph.num_nodes() {
+            return Err(GraphError::MisalignedSnapshots(format!(
+                "{} page ids for {} nodes",
+                pages.len(),
+                graph.num_nodes()
+            )));
+        }
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GraphError::MisalignedSnapshots("duplicate page id in snapshot".into()));
+        }
+        Ok(Snapshot { time, graph, pages })
+    }
+
+    /// Number of pages captured.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Node id of `page`, if captured. O(n) worst case via hash map built
+    /// per call; use [`Snapshot::page_index`] when doing many lookups.
+    pub fn node_of(&self, page: PageId) -> Option<NodeId> {
+        self.pages.iter().position(|&p| p == page).map(|i| i as NodeId)
+    }
+
+    /// Build a reusable `PageId -> NodeId` index.
+    pub fn page_index(&self) -> HashMap<PageId, NodeId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as NodeId))
+            .collect()
+    }
+
+    /// Restrict this snapshot to `keep` (any order; unknown pages are an
+    /// error), relabeling nodes so that node `i` is `keep[i]`.
+    pub fn restrict_to(&self, keep: &[PageId]) -> Result<Snapshot, GraphError> {
+        let index = self.page_index();
+        let mut old_nodes = Vec::with_capacity(keep.len());
+        for &p in keep {
+            match index.get(&p) {
+                Some(&n) => old_nodes.push(n),
+                None => return Err(GraphError::UnknownPage(p.0)),
+            }
+        }
+        // induced_subgraph relabels in sorted-old-node order; compose with
+        // the permutation taking that order to `keep` order.
+        let (sub, sorted_old) = self.graph.induced_subgraph(&old_nodes);
+        let mut pos_of_old: HashMap<NodeId, NodeId> = HashMap::with_capacity(sorted_old.len());
+        for (i, &o) in sorted_old.iter().enumerate() {
+            pos_of_old.insert(o, i as NodeId);
+        }
+        // perm[current] = desired
+        let mut perm = vec![0 as NodeId; keep.len()];
+        for (want, &old) in old_nodes.iter().enumerate() {
+            perm[pos_of_old[&old] as usize] = want as NodeId;
+        }
+        let graph = sub.relabel(&perm)?;
+        Ok(Snapshot { time: self.time, graph, pages: keep.to_vec() })
+    }
+}
+
+/// A time-ordered sequence of snapshots of the same (evolving) corpus.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotSeries {
+    snapshots: Vec<Snapshot>,
+}
+
+impl SnapshotSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a snapshot; times must be non-decreasing.
+    pub fn push(&mut self, s: Snapshot) -> Result<(), GraphError> {
+        if let Some(last) = self.snapshots.last() {
+            if s.time < last.time {
+                return Err(GraphError::OutOfOrderEvent { at: s.time, latest: last.time });
+            }
+        }
+        self.snapshots.push(s);
+        Ok(())
+    }
+
+    /// The snapshots, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when the series holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Pages present in *every* snapshot, ascending by id — the paper's
+    /// "2.7 million pages were common in all four snapshots" step.
+    pub fn common_pages(&self) -> Vec<PageId> {
+        let Some(first) = self.snapshots.first() else {
+            return Vec::new();
+        };
+        let mut common: Vec<PageId> = first.pages.clone();
+        common.sort_unstable();
+        for s in &self.snapshots[1..] {
+            let mut present: Vec<PageId> = s.pages.clone();
+            present.sort_unstable();
+            common.retain(|p| present.binary_search(p).is_ok());
+        }
+        common
+    }
+
+    /// Restrict every snapshot to the common page set, producing an
+    /// *aligned* series: node `i` is the same page in every snapshot.
+    pub fn aligned_to_common(&self) -> Result<SnapshotSeries, GraphError> {
+        let common = self.common_pages();
+        let mut out = SnapshotSeries::new();
+        for s in &self.snapshots {
+            out.push(s.restrict_to(&common)?)?;
+        }
+        Ok(out)
+    }
+
+    /// Check that all snapshots share an identical `pages` vector.
+    pub fn is_aligned(&self) -> bool {
+        match self.snapshots.split_first() {
+            None => true,
+            Some((first, rest)) => rest.iter().all(|s| s.pages == first.pages),
+        }
+    }
+
+    /// Capture times of all snapshots.
+    pub fn times(&self) -> Vec<f64> {
+        self.snapshots.iter().map(|s| s.time).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn snap(time: f64, edges: &[(NodeId, NodeId)], pages: &[u64]) -> Snapshot {
+        let mut b = GraphBuilder::with_nodes(pages.len());
+        b.add_edges(edges.iter().copied());
+        Snapshot::new(time, b.build(), pages.iter().map(|&p| PageId(p)).collect()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_validates_page_labels() {
+        let g = GraphBuilder::with_nodes(2).build();
+        assert!(Snapshot::new(0.0, g.clone(), vec![PageId(1)]).is_err());
+        assert!(Snapshot::new(0.0, g.clone(), vec![PageId(1), PageId(1)]).is_err());
+        assert!(Snapshot::new(0.0, g, vec![PageId(1), PageId(2)]).is_ok());
+    }
+
+    #[test]
+    fn node_lookup() {
+        let s = snap(0.0, &[(0, 1)], &[10, 20, 30]);
+        assert_eq!(s.node_of(PageId(20)), Some(1));
+        assert_eq!(s.node_of(PageId(99)), None);
+        let idx = s.page_index();
+        assert_eq!(idx[&PageId(30)], 2);
+    }
+
+    #[test]
+    fn restrict_preserves_order_and_edges() {
+        // pages 10,20,30 with edges 10->20, 20->30, 30->10
+        let s = snap(0.0, &[(0, 1), (1, 2), (2, 0)], &[10, 20, 30]);
+        let r = s.restrict_to(&[PageId(30), PageId(10)]).unwrap();
+        assert_eq!(r.pages, vec![PageId(30), PageId(10)]);
+        // surviving edge 30->10 becomes node 0 -> node 1
+        assert_eq!(r.graph.edges().collect::<Vec<_>>(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn restrict_unknown_page_errors() {
+        let s = snap(0.0, &[], &[1, 2]);
+        assert!(matches!(
+            s.restrict_to(&[PageId(9)]),
+            Err(GraphError::UnknownPage(9))
+        ));
+    }
+
+    #[test]
+    fn common_pages_intersects_all() {
+        let mut series = SnapshotSeries::new();
+        series.push(snap(0.0, &[], &[1, 2, 3, 4])).unwrap();
+        series.push(snap(1.0, &[], &[2, 3, 4, 5])).unwrap();
+        series.push(snap(2.0, &[], &[3, 4, 5, 6])).unwrap();
+        assert_eq!(series.common_pages(), vec![PageId(3), PageId(4)]);
+    }
+
+    #[test]
+    fn empty_series_has_no_common_pages() {
+        let s = SnapshotSeries::new();
+        assert!(s.common_pages().is_empty());
+        assert!(s.is_aligned());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn aligned_series_shares_numbering() {
+        let mut series = SnapshotSeries::new();
+        // t0: pages 1,2,3 ; edges 1->2, 2->3
+        series.push(snap(0.0, &[(0, 1), (1, 2)], &[1, 2, 3])).unwrap();
+        // t1: pages 2,3,4 ; edges 2->3 (nodes 0->1)
+        series.push(snap(1.0, &[(0, 1)], &[2, 3, 4])).unwrap();
+        let aligned = series.aligned_to_common().unwrap();
+        assert!(aligned.is_aligned());
+        let common = aligned.snapshots()[0].pages.clone();
+        assert_eq!(common, vec![PageId(2), PageId(3)]);
+        // snapshot 0 keeps edge 2->3 as 0->1; so does snapshot 1
+        for s in aligned.snapshots() {
+            assert_eq!(s.graph.edges().collect::<Vec<_>>(), vec![(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn series_rejects_time_regression() {
+        let mut series = SnapshotSeries::new();
+        series.push(snap(5.0, &[], &[1])).unwrap();
+        assert!(series.push(snap(4.0, &[], &[1])).is_err());
+        assert_eq!(series.times(), vec![5.0]);
+    }
+
+    #[test]
+    fn is_aligned_detects_mismatch() {
+        let mut series = SnapshotSeries::new();
+        series.push(snap(0.0, &[], &[1, 2])).unwrap();
+        series.push(snap(1.0, &[], &[2, 1])).unwrap();
+        assert!(!series.is_aligned());
+    }
+}

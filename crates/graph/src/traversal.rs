@@ -1,0 +1,228 @@
+//! Graph traversal: BFS, DFS, reachability, weakly connected components.
+//!
+//! The snapshot crawler in `qrank-sim` mirrors a site by breadth-first
+//! search from its root page, exactly as the paper's crawler "downloaded
+//! pages from each site until we could not reach any more pages".
+
+use crate::{CsrGraph, NodeId};
+
+/// Breadth-first order of nodes reachable from `start` (inclusive),
+/// visiting at most `limit` nodes. `limit = usize::MAX` for unbounded.
+///
+/// This mirrors the paper's per-site crawl cap ("the maximum of 200,000
+/// pages"): traversal stops once `limit` pages have been discovered.
+pub fn bfs_limited(g: &CsrGraph, start: NodeId, limit: usize) -> Vec<NodeId> {
+    if (start as usize) >= g.num_nodes() || limit == 0 {
+        return Vec::new();
+    }
+    let mut visited = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        if order.len() == limit {
+            break;
+        }
+        for &v in g.out_neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Breadth-first order of all nodes reachable from `start`.
+pub fn bfs(g: &CsrGraph, start: NodeId) -> Vec<NodeId> {
+    bfs_limited(g, start, usize::MAX)
+}
+
+/// Multi-source BFS: nodes reachable from any of `starts`, each node once.
+pub fn bfs_multi(g: &CsrGraph, starts: &[NodeId], limit: usize) -> Vec<NodeId> {
+    let mut visited = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for &s in starts {
+        if (s as usize) < g.num_nodes() && !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        if order.len() == limit {
+            break;
+        }
+        for &v in g.out_neighbors(u) {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative depth-first preorder from `start`.
+pub fn dfs(g: &CsrGraph, start: NodeId) -> Vec<NodeId> {
+    if (start as usize) >= g.num_nodes() {
+        return Vec::new();
+    }
+    let mut visited = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u as usize] {
+            continue;
+        }
+        visited[u as usize] = true;
+        order.push(u);
+        // Push in reverse so the smallest neighbor is visited first,
+        // matching recursive DFS over sorted adjacency.
+        for &v in g.out_neighbors(u).iter().rev() {
+            if !visited[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Boolean reachability mask from `start` following out-edges.
+pub fn reachable_from(g: &CsrGraph, start: NodeId) -> Vec<bool> {
+    let mut mask = vec![false; g.num_nodes()];
+    for u in bfs(g, start) {
+        mask[u as usize] = true;
+    }
+    mask
+}
+
+/// Weakly connected components: `component[u]` is a dense component index,
+/// and the return also carries the number of components.
+pub fn weakly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut num = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = num;
+        queue.push_back(s as NodeId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = num;
+                    queue.push_back(v);
+                }
+            }
+        }
+        num += 1;
+    }
+    (comp, num as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(i as NodeId, i as NodeId + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        // 0 -> {1,2}, 1 -> 3, 2 -> 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_respects_limit() {
+        let g = chain(10);
+        assert_eq!(bfs_limited(&g, 0, 3), vec![0, 1, 2]);
+        assert!(bfs_limited(&g, 0, 0).is_empty());
+        assert_eq!(bfs_limited(&g, 0, 100).len(), 10);
+    }
+
+    #[test]
+    fn bfs_out_of_range_start_is_empty() {
+        let g = chain(3);
+        assert!(bfs(&g, 99).is_empty());
+        assert!(dfs(&g, 99).is_empty());
+    }
+
+    #[test]
+    fn bfs_does_not_follow_reverse_edges() {
+        let g = chain(5);
+        assert_eq!(bfs(&g, 2), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_multi_unions_sources() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let mut got = bfs_multi(&g, &[0, 4], usize::MAX);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 4, 5]);
+        // duplicate and out-of-range sources are ignored
+        let got = bfs_multi(&g, &[0, 0, 99], usize::MAX);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn dfs_preorder_on_tree() {
+        // 0 -> {1, 4}; 1 -> {2, 3}
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (1, 3)]);
+        assert_eq!(dfs(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dfs_handles_cycles() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(dfs(&g, 1), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn reachability_mask() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(reachable_from(&g, 0), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn wcc_counts_components() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, n) = weakly_connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert_ne!(comp[5], comp[3]);
+    }
+
+    #[test]
+    fn wcc_ignores_edge_direction() {
+        // 0 <- 1, so with direction 0 reaches nothing, but weakly connected
+        let g = CsrGraph::from_edges(2, &[(1, 0)]);
+        let (_, n) = weakly_connected_components(&g);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn wcc_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let (comp, n) = weakly_connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(n, 0);
+    }
+}

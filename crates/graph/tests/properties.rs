@@ -1,0 +1,136 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use qrank_graph::io::{decode_graph, decode_series, encode_graph, encode_series};
+use qrank_graph::scc::tarjan_scc;
+use qrank_graph::traversal::{bfs, weakly_connected_components};
+use qrank_graph::{CsrGraph, NodeId, PageId, Snapshot, SnapshotSeries};
+
+fn arbitrary_edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges)
+}
+
+/// Reachability test via BFS.
+fn reaches(g: &CsrGraph, from: NodeId, to: NodeId) -> bool {
+    bfs(g, from).contains(&to)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every SCC is actually strongly connected, and distinct components
+    /// are not mutually reachable.
+    #[test]
+    fn scc_components_are_strongly_connected(edges in arbitrary_edges(12, 50)) {
+        let g = CsrGraph::from_edges(12, &edges);
+        let scc = tarjan_scc(&g);
+        for u in 0..12u32 {
+            for v in 0..12u32 {
+                if u == v {
+                    continue;
+                }
+                let same = scc.component[u as usize] == scc.component[v as usize];
+                let mutual = reaches(&g, u, v) && reaches(&g, v, u);
+                prop_assert_eq!(same, mutual, "nodes {} and {}", u, v);
+            }
+        }
+    }
+
+    /// The SCC condensation numbering is reverse-topological: every edge
+    /// goes from a higher-numbered component to a lower-or-equal one.
+    #[test]
+    fn scc_numbering_is_reverse_topological(edges in arbitrary_edges(15, 60)) {
+        let g = CsrGraph::from_edges(15, &edges);
+        let scc = tarjan_scc(&g);
+        for (u, v) in g.edges() {
+            let cu = scc.component[u as usize];
+            let cv = scc.component[v as usize];
+            prop_assert!(cu >= cv, "edge {u}->{v}: component {cu} -> {cv}");
+        }
+    }
+
+    /// Weak components are coarser than strong components.
+    #[test]
+    fn weak_components_refine_strong(edges in arbitrary_edges(15, 60)) {
+        let g = CsrGraph::from_edges(15, &edges);
+        let scc = tarjan_scc(&g);
+        let (wcc, _) = weakly_connected_components(&g);
+        for u in 0..15usize {
+            for v in 0..15usize {
+                if scc.component[u] == scc.component[v] {
+                    prop_assert_eq!(wcc[u], wcc[v]);
+                }
+            }
+        }
+    }
+
+    /// Graph binary encoding round-trips exactly.
+    #[test]
+    fn graph_binary_roundtrip(edges in arbitrary_edges(30, 150)) {
+        let g = CsrGraph::from_edges(30, &edges);
+        let back = decode_graph(&encode_graph(&g)).expect("decode");
+        prop_assert_eq!(back, g);
+    }
+
+    /// Decoding never panics on mutated bytes — it returns an error or a
+    /// (possibly different) valid graph, but must not crash.
+    #[test]
+    fn decode_is_panic_free_under_mutation(
+        edges in arbitrary_edges(10, 40),
+        flips in prop::collection::vec((0usize..10_000, 0u8..=255), 1..8),
+    ) {
+        let g = CsrGraph::from_edges(10, &edges);
+        let mut bytes = encode_graph(&g).to_vec();
+        for &(pos, val) in &flips {
+            let idx = pos % bytes.len();
+            bytes[idx] = val;
+        }
+        let _ = decode_graph(&bytes); // must not panic
+    }
+
+    /// Series decoding never panics on truncation.
+    #[test]
+    fn series_decode_survives_truncation(
+        edges in arbitrary_edges(8, 30),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let g = CsrGraph::from_edges(8, &edges);
+        let pages: Vec<PageId> = (0..8u64).map(PageId).collect();
+        let mut series = SnapshotSeries::new();
+        series.push(Snapshot::new(0.0, g.clone(), pages.clone()).unwrap()).unwrap();
+        series.push(Snapshot::new(1.0, g, pages).unwrap()).unwrap();
+        let bytes = encode_series(&series);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode_series(&bytes[..cut]); // must not panic
+        // full payload always decodes
+        prop_assert!(decode_series(&bytes).is_ok());
+    }
+
+    /// Transpose is an involution and preserves degree sums.
+    #[test]
+    fn transpose_involution(edges in arbitrary_edges(20, 100)) {
+        let g = CsrGraph::from_edges(20, &edges);
+        let t = g.transpose();
+        prop_assert_eq!(t.transpose(), g.clone());
+        for u in 0..20u32 {
+            prop_assert_eq!(g.out_degree(u), t.in_degree(u));
+            prop_assert_eq!(g.in_degree(u), t.out_degree(u));
+        }
+    }
+
+    /// BFS visits exactly the reachable set, each node once.
+    #[test]
+    fn bfs_visits_reachable_set_once(edges in arbitrary_edges(15, 60), start in 0u32..15) {
+        let g = CsrGraph::from_edges(15, &edges);
+        let order = bfs(&g, start);
+        let unique: std::collections::HashSet<_> = order.iter().collect();
+        prop_assert_eq!(unique.len(), order.len(), "no duplicates");
+        prop_assert!(order.contains(&start));
+        // closure: every out-neighbor of a visited node is visited
+        for &u in &order {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(order.contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Population-level analytics: how biased is popularity ranking against
+//! young pages, in closed form?
+//!
+//! The paper's introduction argues qualitatively that ranking by current
+//! popularity buries young high-quality pages. With the model of
+//! Sections 6–7 this is quantifiable exactly: a page of quality `Q` and
+//! age `a` has popularity `P(Q, a)` given by Theorem 1, so for any
+//! cohort of `(quality, age)` pairs we can compute how often popularity
+//! *inverts* the true quality order, how large the hidden-gem population
+//! is, and how long a new page stays buried.
+
+use crate::popularity::{popularity, time_to_reach};
+use crate::{ModelError, ModelParams};
+
+/// A page abstracted to the two numbers the model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CohortPage {
+    /// Intrinsic quality `Q ∈ (0, 1]`.
+    pub quality: f64,
+    /// Age (time since creation) in model units.
+    pub age: f64,
+}
+
+/// Shared environment for a cohort (population size, visit rate, birth
+/// popularity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CohortEnv {
+    /// Visit ratio `r/n`.
+    pub visit_ratio: f64,
+    /// Initial popularity at birth (e.g. `1/n`).
+    pub initial_popularity: f64,
+}
+
+impl CohortEnv {
+    fn params(&self, quality: f64) -> Result<ModelParams, ModelError> {
+        // n and r only enter through their ratio; normalize n = 1.
+        ModelParams::new(
+            quality,
+            1.0,
+            self.visit_ratio,
+            self.initial_popularity.min(quality),
+        )
+    }
+
+    /// Model popularity of a cohort page right now.
+    pub fn popularity_of(&self, page: CohortPage) -> Result<f64, ModelError> {
+        Ok(popularity(&self.params(page.quality)?, page.age))
+    }
+}
+
+/// Fraction of page pairs whose popularity order *disagrees* with their
+/// quality order — the ranking bias of "sort by popularity", in one
+/// number. 0 = popularity ranks exactly like quality; 0.5 = no better
+/// than random.
+pub fn pairwise_inversion_rate(env: &CohortEnv, cohort: &[CohortPage]) -> Result<f64, ModelError> {
+    let pops: Result<Vec<f64>, ModelError> =
+        cohort.iter().map(|&p| env.popularity_of(p)).collect();
+    let pops = pops?;
+    let mut inverted = 0usize;
+    let mut comparable = 0usize;
+    for i in 0..cohort.len() {
+        for j in (i + 1)..cohort.len() {
+            let dq = cohort[i].quality - cohort[j].quality;
+            let dp = pops[i] - pops[j];
+            if dq == 0.0 || dp == 0.0 {
+                continue;
+            }
+            comparable += 1;
+            if (dq > 0.0) != (dp > 0.0) {
+                inverted += 1;
+            }
+        }
+    }
+    Ok(if comparable == 0 { 0.0 } else { inverted as f64 / comparable as f64 })
+}
+
+/// The "hidden gems": pages with quality at or above `quality_floor`
+/// whose popularity is still below `popularity_ceiling`. Returns the
+/// indices into `cohort`.
+pub fn hidden_gems(
+    env: &CohortEnv,
+    cohort: &[CohortPage],
+    quality_floor: f64,
+    popularity_ceiling: f64,
+) -> Result<Vec<usize>, ModelError> {
+    let mut out = Vec::new();
+    for (i, &p) in cohort.iter().enumerate() {
+        if p.quality >= quality_floor && env.popularity_of(p)? < popularity_ceiling {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// How long a page of quality `quality` stays "buried": the time from
+/// birth until its popularity first exceeds that of a *mature* page of
+/// quality `incumbent_quality` (whose popularity is `incumbent_quality`
+/// itself, by Corollary 1). `None` if it can never overtake
+/// (`quality <= incumbent_quality`).
+pub fn time_to_overtake(
+    env: &CohortEnv,
+    quality: f64,
+    incumbent_quality: f64,
+) -> Result<Option<f64>, ModelError> {
+    if quality <= incumbent_quality {
+        return Ok(None);
+    }
+    let params = env.params(quality)?;
+    Ok(time_to_reach(&params, incumbent_quality).map(|t| t.max(0.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> CohortEnv {
+        CohortEnv { visit_ratio: 1.0, initial_popularity: 1e-6 }
+    }
+
+    #[test]
+    fn mature_cohort_has_no_inversions() {
+        // all pages old: popularity == quality, perfect agreement
+        let cohort: Vec<CohortPage> = [0.2, 0.4, 0.6, 0.8]
+            .iter()
+            .map(|&q| CohortPage { quality: q, age: 1e4 })
+            .collect();
+        let rate = pairwise_inversion_rate(&env(), &cohort).unwrap();
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn young_gems_cause_inversions() {
+        // a brand-new excellent page vs an old mediocre one
+        let cohort = vec![
+            CohortPage { quality: 0.9, age: 1.0 },  // young gem
+            CohortPage { quality: 0.3, age: 1e4 }, // mature mediocrity
+        ];
+        let rate = pairwise_inversion_rate(&env(), &cohort).unwrap();
+        assert_eq!(rate, 1.0, "the single pair must be inverted");
+    }
+
+    #[test]
+    fn inversion_rate_declines_with_age() {
+        let cohort_at = |age: f64| -> Vec<CohortPage> {
+            // young pages of varying quality + a mature backdrop
+            let mut c: Vec<CohortPage> = (1..=9)
+                .map(|k| CohortPage { quality: k as f64 / 10.0, age })
+                .collect();
+            c.extend((1..=9).map(|k| CohortPage { quality: k as f64 / 10.0, age: 1e4 }));
+            c
+        };
+        let young = pairwise_inversion_rate(&env(), &cohort_at(2.0)).unwrap();
+        let older = pairwise_inversion_rate(&env(), &cohort_at(50.0)).unwrap();
+        assert!(
+            older < young,
+            "bias should decay as the cohort matures: young {young}, older {older}"
+        );
+    }
+
+    #[test]
+    fn hidden_gem_detection() {
+        let cohort = vec![
+            CohortPage { quality: 0.9, age: 1.0 },  // hidden gem
+            CohortPage { quality: 0.9, age: 1e4 }, // famous gem
+            CohortPage { quality: 0.1, age: 1.0 },  // unknown, deservedly
+        ];
+        let gems = hidden_gems(&env(), &cohort, 0.8, 0.5).unwrap();
+        assert_eq!(gems, vec![0]);
+    }
+
+    #[test]
+    fn overtake_time_exists_for_better_pages() {
+        let t = time_to_overtake(&env(), 0.8, 0.3).unwrap().unwrap();
+        assert!(t > 0.0 && t.is_finite());
+        // at that time the new page's popularity equals the incumbent's
+        let page = CohortPage { quality: 0.8, age: t };
+        let pop = env().popularity_of(page).unwrap();
+        assert!((pop - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overtake_impossible_for_equal_or_worse() {
+        assert!(time_to_overtake(&env(), 0.3, 0.3).unwrap().is_none());
+        assert!(time_to_overtake(&env(), 0.2, 0.3).unwrap().is_none());
+    }
+
+    #[test]
+    fn better_pages_overtake_sooner() {
+        let t_good = time_to_overtake(&env(), 0.9, 0.3).unwrap().unwrap();
+        let t_ok = time_to_overtake(&env(), 0.5, 0.3).unwrap().unwrap();
+        assert!(t_good < t_ok, "higher quality spreads faster: {t_good} vs {t_ok}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_cohorts() {
+        assert_eq!(pairwise_inversion_rate(&env(), &[]).unwrap(), 0.0);
+        let one = vec![CohortPage { quality: 0.5, age: 3.0 }];
+        assert_eq!(pairwise_inversion_rate(&env(), &one).unwrap(), 0.0);
+        // equal qualities: no comparable pairs
+        let same = vec![
+            CohortPage { quality: 0.5, age: 3.0 },
+            CohortPage { quality: 0.5, age: 5.0 },
+        ];
+        assert_eq!(pairwise_inversion_rate(&env(), &same).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The "forgetting" extension of the user-visitation model.
+//!
+//! The paper's discussion section observes that "many pages in our
+//! dataset showed consistent decrease in their PageRanks" and suggests
+//! that "we may explain popularity decrease by modeling the fact that
+//! some users may 'forget' some of the pages that they visited". This
+//! module carries out that suggestion.
+//!
+//! With a per-user forgetting rate `φ` (an aware user forgets the page —
+//! and drops their link — with rate `φ`), the awareness dynamics become
+//!
+//! ```text
+//! dA/dt = (r/n)·P·(1 − A) − φ·A
+//! ```
+//!
+//! and with `P = A·Q` (Lemma 1 still holds):
+//!
+//! ```text
+//! dP/dt = (r/n)·P·(Q − P) − φ·P = (r/n)·P·(Q_eff − P)
+//! ```
+//!
+//! which is *again* a Verhulst equation with the **effective quality**
+//!
+//! ```text
+//! Q_eff = Q − φ·(n/r)
+//! ```
+//!
+//! Consequences, all testable:
+//!
+//! * Popularity converges to `max(Q_eff, 0)`, not `Q`: well-known pages
+//!   **decline** when their popularity exceeds `Q_eff` — the paper's
+//!   anomaly, explained.
+//! * The exact estimator `I + P` now returns `Q_eff`, i.e. it
+//!   *systematically underestimates true quality by `φ·n/r`*. The
+//!   estimator still ranks pages correctly (the bias is a constant
+//!   shift), which is what matters for a ranking metric.
+
+use crate::{ModelError, ModelParams};
+
+/// User-visitation model with forgetting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForgettingModel {
+    /// The base model.
+    pub base: ModelParams,
+    /// Per-unit-time probability that an aware user forgets the page.
+    pub forget_rate: f64,
+}
+
+impl ForgettingModel {
+    /// Validated constructor (`forget_rate >= 0`).
+    pub fn new(base: ModelParams, forget_rate: f64) -> Result<Self, ModelError> {
+        if !(forget_rate >= 0.0 && forget_rate.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "forget_rate",
+                value: forget_rate,
+                constraint: "phi >= 0",
+            });
+        }
+        Ok(ForgettingModel { base, forget_rate })
+    }
+
+    /// The effective quality `Q_eff = Q − φ·n/r` the dynamics converge
+    /// toward (may be negative, in which case popularity decays to 0).
+    pub fn effective_quality(&self) -> f64 {
+        self.base.quality - self.forget_rate / self.base.visit_ratio()
+    }
+
+    /// Limiting popularity `max(Q_eff, 0)`.
+    pub fn limiting_popularity(&self) -> f64 {
+        self.effective_quality().max(0.0)
+    }
+
+    /// Popularity at time `t`, in closed form.
+    ///
+    /// For `Q_eff != 0` this is Theorem 1 with `Q_eff` substituted for
+    /// `Q`; for the singular balance point `Q_eff = 0` the equation
+    /// degenerates to `dP/dt = −(r/n)P²` with solution
+    /// `P(t) = P0/(1 + (r/n)·P0·t)`.
+    pub fn popularity(&self, t: f64) -> f64 {
+        let a = self.base.visit_ratio();
+        let p0 = self.base.initial_popularity;
+        let q_eff = self.effective_quality();
+        if q_eff.abs() < 1e-300 {
+            return p0 / (1.0 + a * p0 * t);
+        }
+        // Same algebraic form as Theorem 1; valid for negative Q_eff too.
+        let c = q_eff / p0 - 1.0;
+        q_eff / (1.0 + c * (-a * q_eff * t).exp())
+    }
+
+    /// `dP/dt` at time `t`.
+    pub fn popularity_derivative(&self, t: f64) -> f64 {
+        let p = self.popularity(t);
+        self.base.visit_ratio() * p * (self.effective_quality() - p)
+    }
+
+    /// The relative popularity increase `I(p,t) = (n/r)·(dP/dt)/P`.
+    /// Note this can be negative for declining pages — the situation the
+    /// paper's experiment handles by clamping (`I = 0` for oscillating
+    /// PageRanks).
+    pub fn relative_increase(&self, t: f64) -> f64 {
+        self.effective_quality() - self.popularity(t)
+    }
+
+    /// What the paper's exact estimator `I + P` returns under
+    /// forgetting: `Q_eff`, independent of `t`. The bias relative to the
+    /// true quality is exactly `φ·n/r`.
+    pub fn estimator_value(&self, t: f64) -> f64 {
+        self.relative_increase(t) + self.popularity(t)
+    }
+
+    /// The estimator's systematic bias `Q − (I + P) = φ·n/r`.
+    pub fn estimator_bias(&self) -> f64 {
+        self.forget_rate / self.base.visit_ratio()
+    }
+
+    /// Sample the popularity curve.
+    pub fn popularity_series(&self, t_max: f64, steps: usize) -> Vec<(f64, f64)> {
+        assert!(steps >= 1, "need at least one step");
+        (0..=steps)
+            .map(|i| {
+                let t = t_max * i as f64 / steps as f64;
+                (t, self.popularity(t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::integrate;
+    use crate::popularity;
+
+    fn base() -> ModelParams {
+        ModelParams::new(0.5, 1e8, 1e8, 1e-4).unwrap()
+    }
+
+    #[test]
+    fn zero_forgetting_reduces_to_base_model() {
+        let m = ForgettingModel::new(base(), 0.0).unwrap();
+        for t in [0.0, 5.0, 20.0, 80.0] {
+            let expect = popularity::popularity(&base(), t);
+            assert!((m.popularity(t) - expect).abs() < 1e-12);
+        }
+        assert_eq!(m.estimator_bias(), 0.0);
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        assert!(ForgettingModel::new(base(), -0.1).is_err());
+        assert!(ForgettingModel::new(base(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn converges_to_effective_quality() {
+        let m = ForgettingModel::new(base(), 0.2).unwrap(); // Q_eff = 0.3
+        assert!((m.effective_quality() - 0.3).abs() < 1e-12);
+        assert!((m.popularity(1e4) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_forgetting_kills_the_page() {
+        let m = ForgettingModel::new(base(), 0.8).unwrap(); // Q_eff = -0.3
+        assert!(m.effective_quality() < 0.0);
+        assert_eq!(m.limiting_popularity(), 0.0);
+        assert!(m.popularity(100.0) < 1e-8);
+        // popularity decays monotonically
+        let s = m.popularity_series(50.0, 100);
+        for w in s.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn balanced_forgetting_hyperbolic_decay() {
+        let m = ForgettingModel::new(base(), 0.5).unwrap(); // Q_eff = 0
+        assert!(m.effective_quality().abs() < 1e-12);
+        // P(t) = P0 / (1 + a P0 t)
+        let p0 = 1e-4;
+        for t in [0.0, 10.0, 1000.0] {
+            let expect = p0 / (1.0 + p0 * t);
+            assert!((m.popularity(t) - expect).abs() < 1e-12, "t={t}");
+        }
+    }
+
+    #[test]
+    fn popularity_decreases_when_born_above_equilibrium() {
+        // The paper's observed "consistent decrease in PageRanks":
+        // a page whose popularity exceeds Q_eff declines.
+        let base = ModelParams::new(0.5, 1e8, 1e8, 0.45).unwrap();
+        let m = ForgettingModel::new(base, 0.2).unwrap(); // Q_eff = 0.3 < 0.45
+        let s = m.popularity_series(100.0, 200);
+        for w in s.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-15, "should decline monotonically");
+        }
+        assert!((s.last().unwrap().1 - 0.3).abs() < 0.01);
+        assert!(m.relative_increase(1.0) < 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_rk4() {
+        for rate in [0.1, 0.2, 0.49, 0.8] {
+            let m = ForgettingModel::new(base(), rate).unwrap();
+            let a = m.base.visit_ratio();
+            let qe = m.effective_quality();
+            let traj = integrate(
+                move |_, p: f64| a * p * (qe - p),
+                0.0,
+                m.base.initial_popularity,
+                60.0,
+                6000,
+            );
+            for (t, y) in traj.into_iter().step_by(500) {
+                assert!(
+                    (y - m.popularity(t)).abs() < 1e-8,
+                    "rate={rate} t={t}: rk4={y} closed={}",
+                    m.popularity(t)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_returns_q_eff_with_constant_bias() {
+        let m = ForgettingModel::new(base(), 0.1).unwrap();
+        for t in [0.0, 3.0, 30.0, 300.0] {
+            assert!((m.estimator_value(t) - m.effective_quality()).abs() < 1e-12);
+        }
+        assert!((m.estimator_bias() - 0.1).abs() < 1e-12);
+        // bias + estimator == true quality
+        assert!((m.estimator_value(7.0) + m.estimator_bias() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_is_preserved_under_forgetting() {
+        // Constant-shift bias keeps relative order of page qualities.
+        let rate = 0.15;
+        let qualities = [0.2, 0.4, 0.6, 0.9];
+        let mut est: Vec<f64> = Vec::new();
+        for &q in &qualities {
+            let b = ModelParams::new(q, 1e8, 1e8, 1e-5).unwrap();
+            let m = ForgettingModel::new(b, rate).unwrap();
+            est.push(m.estimator_value(10.0));
+        }
+        for w in est.windows(2) {
+            assert!(w[1] > w[0], "estimator should preserve quality order");
+        }
+    }
+}

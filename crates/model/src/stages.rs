@@ -1,0 +1,180 @@
+//! Page life stages: infant, expansion, maturity.
+//!
+//! Figure 1 of the paper identifies three stages in a page's popularity
+//! evolution: an **infant** stage where "the page is barely noticed by
+//! Web users and has practically zero popularity", an **expansion** stage
+//! where "the popularity of the page suddenly increases", and a
+//! **maturity** stage where "the popularity of the page stabilizes".
+//!
+//! We operationalize the stages by the fraction of the limiting
+//! popularity `Q` that has been reached: below `lo` (default 5%) the page
+//! is an infant; above `hi` (default 95%) it is mature; in between it is
+//! expanding. For the paper's Figure 1 parameters this puts the
+//! transitions at `t ≈ 15` and `t ≈ 30`, matching the paper's reading of
+//! the plot.
+
+use crate::popularity::{popularity, time_to_reach};
+use crate::ModelParams;
+
+/// The stage of a page's popularity life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LifeStage {
+    /// Barely noticed; popularity below `lo · Q`. Ranking by current
+    /// popularity buries these pages — the bias the paper targets.
+    Infant,
+    /// Rapid growth between the thresholds.
+    Expansion,
+    /// Saturated; popularity above `hi · Q` and ≈ `Q` (Corollary 1).
+    Maturity,
+}
+
+/// Stage thresholds as fractions of the limiting popularity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageThresholds {
+    /// Infant/expansion boundary (fraction of `Q`).
+    pub lo: f64,
+    /// Expansion/maturity boundary (fraction of `Q`).
+    pub hi: f64,
+}
+
+impl Default for StageThresholds {
+    fn default() -> Self {
+        StageThresholds { lo: 0.05, hi: 0.95 }
+    }
+}
+
+impl StageThresholds {
+    /// Validated constructor: requires `0 < lo < hi < 1`.
+    pub fn new(lo: f64, hi: f64) -> Option<Self> {
+        (0.0 < lo && lo < hi && hi < 1.0).then_some(StageThresholds { lo, hi })
+    }
+}
+
+/// The stage of the page at time `t` under default thresholds.
+pub fn stage_at(p: &ModelParams, t: f64) -> LifeStage {
+    stage_at_with(p, t, StageThresholds::default())
+}
+
+/// The stage of the page at time `t` under explicit thresholds.
+pub fn stage_at_with(p: &ModelParams, t: f64, th: StageThresholds) -> LifeStage {
+    let frac = popularity(p, t) / p.quality;
+    if frac < th.lo {
+        LifeStage::Infant
+    } else if frac < th.hi {
+        LifeStage::Expansion
+    } else {
+        LifeStage::Maturity
+    }
+}
+
+/// Times of the two stage transitions `(infant→expansion,
+/// expansion→maturity)` under the given thresholds. A transition that
+/// already happened "before birth" (the page was born past the threshold)
+/// is reported as `None`.
+pub fn stage_transitions(p: &ModelParams, th: StageThresholds) -> (Option<f64>, Option<f64>) {
+    let t_lo = time_to_reach(p, th.lo * p.quality).filter(|&t| t >= 0.0);
+    let t_hi = time_to_reach(p, th.hi * p.quality).filter(|&t| t >= 0.0);
+    (t_lo, t_hi)
+}
+
+/// The inflection point of the logistic curve — the time of fastest
+/// popularity growth, where `P = Q/2`:
+///
+/// ```text
+/// t* = ln(Q/P0 − 1) / ((r/n)·Q)
+/// ```
+///
+/// Negative if the page was born already more than half-saturated.
+pub fn inflection_time(p: &ModelParams) -> f64 {
+    (p.quality / p.initial_popularity - 1.0).ln() / (p.visit_ratio() * p.quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_stage_boundaries_match_paper() {
+        // Paper (eyeballed from its Figure 1): infant t in [0, ~15],
+        // expansion [~15, ~30], maturity after. The analytic 5%/95%
+        // crossings are t ≈ 19.1 and t ≈ 26.4 — consistent with reading
+        // a log-flat sigmoid off a small plot.
+        let p = ModelParams::figure1();
+        let (lo, hi) = stage_transitions(&p, StageThresholds::default());
+        let lo = lo.unwrap();
+        let hi = hi.unwrap();
+        assert!((13.0..22.0).contains(&lo), "infant->expansion at {lo}");
+        assert!((24.0..33.0).contains(&hi), "expansion->maturity at {hi}");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn stages_progress_in_order() {
+        let p = ModelParams::figure1();
+        assert_eq!(stage_at(&p, 5.0), LifeStage::Infant);
+        assert_eq!(stage_at(&p, 22.0), LifeStage::Expansion);
+        assert_eq!(stage_at(&p, 40.0), LifeStage::Maturity);
+    }
+
+    #[test]
+    fn stage_sequence_is_monotone() {
+        let p = ModelParams::figure2();
+        let mut last = LifeStage::Infant;
+        for i in 0..1000 {
+            let s = stage_at(&p, i as f64 * 0.3);
+            let rank = |s: LifeStage| match s {
+                LifeStage::Infant => 0,
+                LifeStage::Expansion => 1,
+                LifeStage::Maturity => 2,
+            };
+            assert!(rank(s) >= rank(last), "stage regressed at t={}", i as f64 * 0.3);
+            last = s;
+        }
+        assert_eq!(last, LifeStage::Maturity);
+    }
+
+    #[test]
+    fn born_mature_page() {
+        let p = ModelParams::new(0.5, 1e6, 1e6, 0.49).unwrap();
+        assert_eq!(stage_at(&p, 0.0), LifeStage::Maturity);
+        let (lo, hi) = stage_transitions(&p, StageThresholds::default());
+        assert!(lo.is_none());
+        assert!(hi.is_none());
+    }
+
+    #[test]
+    fn inflection_is_where_growth_peaks() {
+        let p = ModelParams::figure1();
+        let t_star = inflection_time(&p);
+        let d = crate::popularity::popularity_derivative(&p, t_star);
+        // derivative smaller on both sides
+        assert!(d > crate::popularity::popularity_derivative(&p, t_star - 2.0));
+        assert!(d > crate::popularity::popularity_derivative(&p, t_star + 2.0));
+        // P(t*) = Q/2
+        assert!((popularity(&p, t_star) - p.quality / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflection_negative_for_half_saturated_birth() {
+        let p = ModelParams::new(0.5, 1e6, 1e6, 0.4).unwrap();
+        assert!(inflection_time(&p) < 0.0);
+    }
+
+    #[test]
+    fn threshold_validation() {
+        assert!(StageThresholds::new(0.1, 0.9).is_some());
+        assert!(StageThresholds::new(0.9, 0.1).is_none());
+        assert!(StageThresholds::new(0.0, 0.9).is_none());
+        assert!(StageThresholds::new(0.1, 1.0).is_none());
+    }
+
+    #[test]
+    fn custom_thresholds_shift_boundaries() {
+        let p = ModelParams::figure1();
+        let strict = StageThresholds::new(0.01, 0.99).unwrap();
+        let (lo_s, hi_s) = stage_transitions(&p, strict);
+        let (lo_d, hi_d) = stage_transitions(&p, StageThresholds::default());
+        assert!(lo_s.unwrap() < lo_d.unwrap());
+        assert!(hi_s.unwrap() > hi_d.unwrap());
+    }
+}

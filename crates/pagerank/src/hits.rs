@@ -1,0 +1,150 @@
+//! Kleinberg's HITS (Hub & Authority) — reference \[13\] of the paper,
+//! the other classic second-generation (link-based) ranking metric.
+//!
+//! Iterates `a ← Gᵀh`, `h ← Ga` with L2 normalization until
+//! convergence. Authority scores serve as an alternative popularity
+//! metric for the quality estimator in ablations.
+
+use qrank_graph::CsrGraph;
+
+/// Result of a HITS computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitsResult {
+    /// Authority scores (L2-normalized).
+    pub authorities: Vec<f64>,
+    /// Hub scores (L2-normalized).
+    pub hubs: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Compute HITS scores over the whole graph.
+///
+/// `tolerance` bounds the L1 change of the authority vector between
+/// iterations; `max_iterations` caps the work.
+pub fn hits(g: &CsrGraph, tolerance: f64, max_iterations: usize) -> HitsResult {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(max_iterations >= 1, "need at least one iteration");
+    let n = g.num_nodes();
+    if n == 0 {
+        return HitsResult { authorities: Vec::new(), hubs: Vec::new(), iterations: 0, converged: true };
+    }
+    let init = 1.0 / (n as f64).sqrt();
+    let mut auth = vec![init; n];
+    let mut hub = vec![init; n];
+    let mut new_auth = vec![0.0; n];
+    let mut new_hub = vec![0.0; n];
+    let mut converged = false;
+    let mut iterations = 0;
+
+    while iterations < max_iterations {
+        // a[v] = sum of h[u] over u -> v
+        for (v, slot) in new_auth.iter_mut().enumerate() {
+            *slot = g.in_neighbors(v as u32).iter().map(|&u| hub[u as usize]).sum();
+        }
+        normalize_l2(&mut new_auth);
+        // h[u] = sum of a[v] over u -> v
+        for (u, slot) in new_hub.iter_mut().enumerate() {
+            *slot = g.out_neighbors(u as u32).iter().map(|&v| new_auth[v as usize]).sum();
+        }
+        normalize_l2(&mut new_hub);
+
+        // Track both vectors: authorities alone can be stationary while
+        // hubs still move (e.g. every node has in-degree exactly 1).
+        let delta: f64 = auth.iter().zip(&new_auth).map(|(a, b)| (a - b).abs()).sum::<f64>()
+            + hub.iter().zip(&new_hub).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        std::mem::swap(&mut auth, &mut new_auth);
+        std::mem::swap(&mut hub, &mut new_hub);
+        iterations += 1;
+        if delta < tolerance {
+            converged = true;
+            break;
+        }
+    }
+    HitsResult { authorities: auth, hubs: hub, iterations, converged }
+}
+
+fn normalize_l2(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrank_graph::GraphBuilder;
+
+    #[test]
+    fn empty_graph() {
+        let r = hits(&CsrGraph::from_edges(0, &[]), 1e-10, 100);
+        assert!(r.converged);
+        assert!(r.authorities.is_empty());
+    }
+
+    #[test]
+    fn star_authority() {
+        // many hubs point at node 0
+        let mut b = GraphBuilder::with_nodes(6);
+        for i in 1..6u32 {
+            b.add_edge(i, 0);
+        }
+        let r = hits(&b.build(), 1e-12, 200);
+        assert!(r.converged);
+        assert!((r.authorities[0] - 1.0).abs() < 1e-6, "node 0 is the sole authority");
+        for i in 1..6 {
+            assert!(r.authorities[i] < 1e-6);
+            assert!(r.hubs[i] > 0.1, "pointers are hubs");
+        }
+        assert!(r.hubs[0] < 1e-6, "the authority links to nothing");
+    }
+
+    #[test]
+    fn bipartite_hub_authority_split() {
+        // hubs {0,1} -> authorities {2,3}; node 2 has both hubs, 3 has one
+        let g = CsrGraph::from_edges(4, &[(0, 2), (0, 3), (1, 2)]);
+        let r = hits(&g, 1e-12, 500);
+        assert!(r.converged);
+        assert!(r.authorities[2] > r.authorities[3]);
+        assert!(r.hubs[0] > r.hubs[1], "hub linking to both authorities scores higher");
+    }
+
+    #[test]
+    fn vectors_are_l2_normalized() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let r = hits(&g, 1e-12, 500);
+        let na: f64 = r.authorities.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nh: f64 = r.hubs.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((na - 1.0).abs() < 1e-9);
+        assert!((nh - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_graph_stays_uniform_and_degenerate() {
+        let g = CsrGraph::from_edges(3, &[]);
+        let r = hits(&g, 1e-10, 50);
+        // all-zero updates: scores collapse to zero vectors (norm guard)
+        assert!(r.authorities.iter().all(|&a| a == 0.0));
+    }
+
+    #[test]
+    fn iteration_cap() {
+        // Asymmetric graph (a pure cycle is already at the fixed point).
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (2, 3)]);
+        let r = hits(&g, 1e-30, 2);
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn rejects_bad_tolerance() {
+        let _ = hits(&CsrGraph::from_edges(2, &[(0, 1)]), 0.0, 10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Multithreaded pull-based power iteration.
+//!
+//! The pull formulation (`new[v]` reads only `x[in_neighbors(v)]`) makes
+//! each output chunk independent, so an iteration parallelizes with no
+//! locks on the hot path: worker threads own disjoint slices of the
+//! output vector. Per-iteration reductions (dangling mass, residual) are
+//! combined through a `parking_lot`-protected accumulator.
+
+use parking_lot::Mutex;
+use qrank_graph::CsrGraph;
+
+use crate::power::{apply_scale, inv_out_degrees, PageRankResult};
+use crate::{DanglingStrategy, PageRankConfig};
+
+/// Compute PageRank with `num_threads` worker threads.
+///
+/// Produces the same vector as [`crate::pagerank`] (bitwise equality is
+/// not guaranteed — floating-point summation order differs — but results
+/// agree to well below any practical tolerance).
+///
+/// **When to use:** only on graphs far beyond ~10⁵ nodes. A thread scope
+/// is spawned per iteration, so on small graphs the spawn overhead
+/// dwarfs the per-iteration work and the sequential solvers win (see the
+/// `pagerank_solvers` bench group). Gauss–Seidel is the fastest
+/// sequential choice on web-shaped graphs.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn parallel_pagerank(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    num_threads: usize,
+) -> PageRankResult {
+    config.validate();
+    assert!(num_threads >= 1, "need at least one thread");
+    let n = g.num_nodes();
+    if n == 0 {
+        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+    }
+    let threads = num_threads.min(n);
+    let inv = inv_out_degrees(g);
+    let alpha = config.follow_prob;
+    let teleport = (1.0 - alpha) / n as f64;
+    let chunk = n.div_ceil(threads);
+
+    let mut x = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    let mut residuals = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    while iterations < config.max_iterations {
+        // Parallel reduce: dangling mass.
+        let dangling_mass = {
+            let acc = Mutex::new(0.0f64);
+            std::thread::scope(|s| {
+                for (ci, x_chunk) in x.chunks(chunk).enumerate() {
+                    let inv = &inv;
+                    let acc = &acc;
+                    s.spawn(move || {
+                        let base = ci * chunk;
+                        let local: f64 = x_chunk
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| inv[base + i] == 0.0)
+                            .map(|(_, &v)| v)
+                            .sum();
+                        *acc.lock() += local;
+                    });
+                }
+            });
+            acc.into_inner()
+        };
+        let dangling_share = match config.dangling {
+            DanglingStrategy::LinkToAll => alpha * dangling_mass / n as f64,
+            _ => 0.0,
+        };
+
+        // Parallel update over disjoint output chunks.
+        let residual = {
+            let acc = Mutex::new(0.0f64);
+            std::thread::scope(|s| {
+                for (ci, out) in next.chunks_mut(chunk).enumerate() {
+                    let x = &x;
+                    let inv = &inv;
+                    let acc = &acc;
+                    s.spawn(move || {
+                        let base = ci * chunk;
+                        let mut local_res = 0.0;
+                        for (i, slot) in out.iter_mut().enumerate() {
+                            let v = base + i;
+                            let mut sum = 0.0;
+                            for &u in g.in_neighbors(v as u32) {
+                                sum += x[u as usize] * inv[u as usize];
+                            }
+                            let mut val = teleport + dangling_share + alpha * sum;
+                            if inv[v] == 0.0 && config.dangling == DanglingStrategy::SelfLoop {
+                                val += alpha * x[v];
+                            }
+                            *slot = val;
+                            local_res += (val - x[v]).abs();
+                        }
+                        *acc.lock() += local_res;
+                    });
+                }
+            });
+            acc.into_inner()
+        };
+
+        std::mem::swap(&mut x, &mut next);
+        iterations += 1;
+        residuals.push(residual);
+        if residual < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    if config.dangling == DanglingStrategy::RemoveAndRenormalize {
+        crate::power::renormalize(&mut x);
+    }
+    apply_scale(&mut x, config.scale);
+    PageRankResult { scores: x, iterations, converged, residuals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::pagerank;
+    use qrank_graph::generators::{barabasi_albert, erdos_renyi_gnm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_sequential_solver() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = erdos_renyi_gnm(500, 3000, &mut rng);
+        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let seq = pagerank(&g, &cfg);
+        for threads in [1, 2, 4, 7] {
+            let par = parallel_pagerank(&g, &cfg, threads);
+            assert_eq!(par.iterations, seq.iterations, "threads={threads}");
+            for (a, b) in seq.scores.iter().zip(&par.scores) {
+                assert!((a - b).abs() < 1e-10, "threads={threads}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_with_dangling() {
+        let g = CsrGraph::from_edges(9, &[(0, 1), (1, 2), (3, 4), (5, 2), (6, 0)]);
+        for strategy in [
+            DanglingStrategy::LinkToAll,
+            DanglingStrategy::SelfLoop,
+            DanglingStrategy::RemoveAndRenormalize,
+        ] {
+            let cfg = PageRankConfig { dangling: strategy, tolerance: 1e-12, ..Default::default() };
+            let seq = pagerank(&g, &cfg);
+            let par = parallel_pagerank(&g, &cfg, 3);
+            for (a, b) in seq.scores.iter().zip(&par.scores) {
+                assert!((a - b).abs() < 1e-10, "{strategy:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_fine() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = parallel_pagerank(&g, &PageRankConfig::default(), 64);
+        let sum: f64 = r.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = parallel_pagerank(&CsrGraph::from_edges(0, &[]), &PageRankConfig::default(), 4);
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread")]
+    fn rejects_zero_threads() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let _ = parallel_pagerank(&g, &PageRankConfig::default(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = barabasi_albert(400, 3, &mut rng);
+        let cfg = PageRankConfig::default();
+        let a = parallel_pagerank(&g, &cfg, 4);
+        let b = parallel_pagerank(&g, &cfg, 4);
+        assert_eq!(a.scores, b.scores, "same thread count must be bitwise deterministic");
+    }
+
+    use qrank_graph::CsrGraph;
+}

@@ -1,0 +1,237 @@
+//! A fixed-capacity bitset over user ids.
+//!
+//! A saturated page is known to *every* user, so per-page awareness and
+//! like sets grow to the full population. Hash sets at that density cost
+//! ~50 bytes per member; a bitset costs one bit. With thousands of pages
+//! times thousands of users this is the difference between megabytes and
+//! gigabytes.
+
+/// Fixed-capacity bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// A bitset able to hold ids `0..capacity`, all clear.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`; returns true if it was previously clear.
+    #[inline]
+    pub fn set(&mut self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was_clear = *word & mask == 0;
+        *word |= mask;
+        was_clear
+    }
+
+    /// Clear bit `i`; returns true if it was previously set.
+    #[inline]
+    pub fn clear(&mut self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was_set = *word & mask != 0;
+        *word &= !mask;
+        was_set
+    }
+
+    /// Number of set bits (O(words)).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Population count of the union of several bitsets of equal
+    /// capacity (allocates one scratch word vector).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn union_count<'a, I: IntoIterator<Item = &'a BitSet>>(sets: I) -> usize {
+        let mut acc: Option<Vec<u64>> = None;
+        let mut capacity = 0;
+        for s in sets {
+            match &mut acc {
+                None => {
+                    acc = Some(s.words.clone());
+                    capacity = s.capacity;
+                }
+                Some(words) => {
+                    assert_eq!(s.capacity, capacity, "bitset capacities differ");
+                    for (w, &x) in words.iter_mut().zip(&s.words) {
+                        *w |= x;
+                    }
+                }
+            }
+        }
+        acc.map(|w| w.iter().map(|x| x.count_ones() as usize).sum()).unwrap_or(0)
+    }
+}
+
+/// A set of user ids with O(1) insert, membership, uniform index
+/// sampling, and removal *by sampled index* — exactly the operations the
+/// simulation needs, with bitset-backed membership and a dense member
+/// vector for sampling.
+#[derive(Debug, Clone)]
+pub struct SampleSet {
+    members: Vec<u32>,
+    bits: BitSet,
+}
+
+impl SampleSet {
+    /// Empty set over ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        SampleSet { members: Vec::new(), bits: BitSet::new(capacity) }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.bits.get(id)
+    }
+
+    /// Insert; returns true if newly added.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        if self.bits.set(id) {
+            self.members.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The member at dense index `i` (for uniform sampling: draw
+    /// `i ~ U(0..len)` and look it up).
+    #[inline]
+    pub fn member_at(&self, i: usize) -> u32 {
+        self.members[i]
+    }
+
+    /// Remove the member at dense index `i` (swap-remove) and return it.
+    pub fn remove_at(&mut self, i: usize) -> u32 {
+        let id = self.members.swap_remove(i);
+        self.bits.clear(id);
+        id
+    }
+
+    /// Iterate members in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(0));
+        assert!(b.set(0));
+        assert!(!b.set(0));
+        assert!(b.get(0));
+        assert!(b.set(129));
+        assert_eq!(b.count(), 2);
+        assert!(b.clear(0));
+        assert!(!b.clear(0));
+        assert_eq!(b.count(), 1);
+        assert_eq!(b.capacity(), 130);
+    }
+
+    #[test]
+    fn bitset_word_boundaries() {
+        let mut b = BitSet::new(128);
+        for i in [63u32, 64, 127] {
+            assert!(b.set(i));
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn union_count_works() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        b.set(99);
+        assert_eq!(BitSet::union_count([&a, &b]), 3);
+        assert_eq!(BitSet::union_count([&a]), 2);
+        assert_eq!(BitSet::union_count(std::iter::empty::<&BitSet>()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacities")]
+    fn union_count_rejects_mismatched_capacity() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(20);
+        let _ = BitSet::union_count([&a, &b]);
+    }
+
+    #[test]
+    fn sample_set_basics() {
+        let mut s = SampleSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.insert(42));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(7) && s.contains(42) && !s.contains(9));
+        let first = s.member_at(0);
+        let removed = s.remove_at(0);
+        assert_eq!(first, removed);
+        assert!(!s.contains(removed));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sample_set_swap_remove_consistency() {
+        let mut s = SampleSet::new(1000);
+        for i in 0..500 {
+            s.insert(i);
+        }
+        // remove half by index 0 repeatedly
+        for _ in 0..250 {
+            let id = s.remove_at(0);
+            assert!(!s.contains(id));
+        }
+        assert_eq!(s.len(), 250);
+        let members: Vec<u32> = s.iter().collect();
+        assert_eq!(members.len(), 250);
+        for m in members {
+            assert!(s.contains(m));
+        }
+    }
+}

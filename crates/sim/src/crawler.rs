@@ -1,0 +1,211 @@
+//! Snapshot crawler: the paper's measurement instrument.
+//!
+//! Section 8.1: "we downloaded pages on 154 Web sites four times over the
+//! period of six months ... We downloaded pages from each site until we
+//! could not reach any more pages from the site or we downloaded the
+//! maximum of 200,000 pages." The crawler reproduces that protocol
+//! against a [`crate::World`]: breadth-first mirror of each site from its
+//! root following the link graph *as of the snapshot time*, a per-site
+//! page cap, and assembly into an externally-identified
+//! [`qrank_graph::Snapshot`].
+
+use qrank_graph::traversal::bfs_limited;
+use qrank_graph::{GraphError, PageId, Snapshot, SnapshotSeries};
+
+use crate::World;
+
+/// Capture times for a snapshot study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSchedule {
+    /// Times (in simulation units, months in the paper) of each capture.
+    pub times: Vec<f64>,
+}
+
+impl SnapshotSchedule {
+    /// The paper's Figure 4 timeline, in months relative to the first
+    /// snapshot: t1 = Dec 2002 (4th week), t2 = Jan 2003 (3rd week),
+    /// t3 = Feb 2003 (3rd week), t4 = Jun 2003 (4th week) — roughly
+    /// 0, 1, 2, and 6 months.
+    pub fn paper_timeline(start: f64) -> Self {
+        SnapshotSchedule { times: vec![start, start + 1.0, start + 2.0, start + 6.0] }
+    }
+
+    /// Evenly spaced captures.
+    pub fn uniform(start: f64, interval: f64, count: usize) -> Self {
+        assert!(interval > 0.0, "interval must be positive");
+        assert!(count >= 1, "need at least one snapshot");
+        SnapshotSchedule {
+            times: (0..count).map(|i| start + interval * i as f64).collect(),
+        }
+    }
+}
+
+/// A per-site breadth-first snapshot crawler.
+#[derive(Debug, Clone, Copy)]
+pub struct Crawler {
+    /// Per-site page cap (the paper uses 200,000).
+    pub max_pages_per_site: usize,
+}
+
+impl Default for Crawler {
+    fn default() -> Self {
+        Crawler { max_pages_per_site: 200_000 }
+    }
+}
+
+impl Crawler {
+    /// Crawl the world's link structure as of time `t` (which must not
+    /// exceed the world's clock) and return a snapshot whose nodes are
+    /// the crawled pages, identified by their stable page ids.
+    pub fn crawl(&self, world: &World, t: f64) -> Result<Snapshot, GraphError> {
+        assert!(
+            t <= world.time() + 1e-12,
+            "cannot crawl the future: t={t}, world at {}",
+            world.time()
+        );
+        let g = world.link_graph_at(t);
+        // Visit each site from its root; a page is captured once even if
+        // reachable from several sites (first crawl wins, like a crawler
+        // deduplicating by URL).
+        let mut captured: Vec<u32> = Vec::new();
+        let mut seen = vec![false; g.num_nodes()];
+        for &root in world.site_roots() {
+            // roots of sites created later than t don't exist yet
+            if world.page(root).created_at > t {
+                continue;
+            }
+            for p in bfs_limited(&g, root, self.max_pages_per_site) {
+                // skip pages born after t (their edges don't exist at t,
+                // but isolated future nodes are present in the full graph)
+                if world.page(p).created_at > t || seen[p as usize] {
+                    continue;
+                }
+                seen[p as usize] = true;
+                captured.push(p);
+            }
+        }
+        captured.sort_unstable();
+        let (sub, kept) = g.induced_subgraph(&captured);
+        let pages = kept.into_iter().map(|p| PageId(p as u64)).collect();
+        Snapshot::new(t, sub, pages)
+    }
+
+    /// Run a full snapshot study: advance the world through the schedule,
+    /// crawling at each capture time, and return the series.
+    pub fn crawl_schedule(
+        &self,
+        world: &mut World,
+        schedule: &SnapshotSchedule,
+    ) -> Result<SnapshotSeries, GraphError> {
+        let mut series = SnapshotSeries::new();
+        for &t in &schedule.times {
+            world.run_until(t);
+            series.push(self.crawl(world, t)?)?;
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QualityDist, SimConfig};
+
+    fn config() -> SimConfig {
+        SimConfig {
+            num_users: 250,
+            num_sites: 4,
+            visit_ratio: 3.0,
+            page_birth_rate: 15.0,
+            quality_dist: QualityDist::Uniform { lo: 0.1, hi: 0.9 },
+            dt: 0.05,
+            seed: 31,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn paper_timeline_spacing() {
+        let s = SnapshotSchedule::paper_timeline(2.0);
+        assert_eq!(s.times, vec![2.0, 3.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn uniform_schedule() {
+        let s = SnapshotSchedule::uniform(1.0, 0.5, 3);
+        assert_eq!(s.times, vec![1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn uniform_rejects_zero_interval() {
+        let _ = SnapshotSchedule::uniform(0.0, 0.0, 3);
+    }
+
+    #[test]
+    fn crawl_captures_every_alive_page_without_cap() {
+        let mut w = World::bootstrap(config()).unwrap();
+        w.run_until(1.5);
+        let snap = Crawler::default().crawl(&w, 1.5).unwrap();
+        // every page born by t=1.5 is reachable from its site root
+        let alive = (0..w.num_pages() as u32)
+            .filter(|&p| w.page(p).created_at <= 1.5)
+            .count();
+        assert_eq!(snap.num_pages(), alive);
+    }
+
+    #[test]
+    fn crawl_respects_page_cap() {
+        let mut w = World::bootstrap(config()).unwrap();
+        w.run_until(1.0);
+        let crawler = Crawler { max_pages_per_site: 10 };
+        let snap = crawler.crawl(&w, 1.0).unwrap();
+        assert!(snap.num_pages() <= 10 * 4, "cap 10 per site, 4 sites");
+        assert!(snap.num_pages() >= 10, "should still capture something");
+    }
+
+    #[test]
+    fn crawl_at_earlier_time_sees_smaller_web() {
+        let mut w = World::bootstrap(config()).unwrap();
+        w.run_until(3.0);
+        let c = Crawler::default();
+        let early = c.crawl(&w, 0.5).unwrap();
+        let late = c.crawl(&w, 3.0).unwrap();
+        assert!(late.num_pages() >= early.num_pages());
+        assert!(late.graph.num_edges() > early.graph.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "future")]
+    fn cannot_crawl_the_future() {
+        let w = World::bootstrap(config()).unwrap();
+        let _ = Crawler::default().crawl(&w, 5.0);
+    }
+
+    #[test]
+    fn schedule_produces_aligned_common_pages() {
+        let mut w = World::bootstrap(config()).unwrap();
+        let schedule = SnapshotSchedule::paper_timeline(0.5);
+        let series = Crawler::default().crawl_schedule(&mut w, &schedule).unwrap();
+        assert_eq!(series.len(), 4);
+        let common = series.common_pages();
+        // bootstrap pages exist in all snapshots
+        assert!(common.len() >= 250 + 4, "common pages {}", common.len());
+        // pages born after the first snapshot are not common
+        let first_count = series.snapshots()[0].num_pages();
+        assert_eq!(common.len(), first_count, "all first-snapshot pages persist");
+        let aligned = series.aligned_to_common().unwrap();
+        assert!(aligned.is_aligned());
+    }
+
+    #[test]
+    fn snapshot_page_ids_match_world_pages() {
+        let mut w = World::bootstrap(config()).unwrap();
+        w.run_until(1.0);
+        let snap = Crawler::default().crawl(&w, 1.0).unwrap();
+        for (node, &pid) in snap.pages.iter().enumerate() {
+            let p = pid.0 as u32;
+            assert!(w.page(p).created_at <= 1.0, "node {node} maps to unborn page");
+        }
+    }
+}

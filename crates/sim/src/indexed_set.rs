@@ -1,0 +1,141 @@
+//! A set with O(1) insert, remove, membership, and uniform sampling.
+//!
+//! The forgetting extension needs to pick a *uniformly random aware user*
+//! of a page and remove them; a plain `HashSet` cannot sample without
+//! iteration. `IndexedSet` keeps elements in a dense `Vec` (swap-remove
+//! on deletion) plus a position map.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+/// A u32 set supporting O(1) uniform random sampling.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedSet {
+    items: Vec<u32>,
+    pos: HashMap<u32, u32>,
+}
+
+impl IndexedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, x: u32) -> bool {
+        self.pos.contains_key(&x)
+    }
+
+    /// Insert `x`; returns true if it was not already present.
+    pub fn insert(&mut self, x: u32) -> bool {
+        if self.pos.contains_key(&x) {
+            return false;
+        }
+        self.pos.insert(x, self.items.len() as u32);
+        self.items.push(x);
+        true
+    }
+
+    /// Remove `x`; returns true if it was present.
+    pub fn remove(&mut self, x: u32) -> bool {
+        let Some(i) = self.pos.remove(&x) else {
+            return false;
+        };
+        let i = i as usize;
+        let last = self.items.len() - 1;
+        self.items.swap(i, last);
+        self.items.pop();
+        if i < self.items.len() {
+            self.pos.insert(self.items[i], i as u32);
+        }
+        true
+    }
+
+    /// A uniformly random element, or `None` if empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items[rng.random_range(0..self.items.len())])
+        }
+    }
+
+    /// Iterate over elements (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = IndexedSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = IndexedSet::new();
+        for x in 0..100 {
+            s.insert(x);
+        }
+        // remove from the middle repeatedly
+        for x in (0..100).step_by(3) {
+            assert!(s.remove(x));
+        }
+        for x in 0..100u32 {
+            assert_eq!(s.contains(x), x % 3 != 0, "x={x}");
+        }
+        // everything remaining is still removable
+        let remaining: Vec<u32> = s.iter().collect();
+        for x in remaining {
+            assert!(s.remove(x));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sample_is_uniformish() {
+        let mut s = IndexedSet::new();
+        for x in 0..10 {
+            s.insert(x);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[s.sample(&mut rng).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5000.0).abs() < 500.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn sample_empty_is_none() {
+        let s = IndexedSet::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(s.sample(&mut rng).is_none());
+    }
+}

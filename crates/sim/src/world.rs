@@ -1,0 +1,689 @@
+//! The simulation state machine.
+//!
+//! A [`World`] holds a population of users, a growing set of pages with
+//! intrinsic qualities, and the evolving link graph. Each
+//! [`World::step`] advances time by `dt`:
+//!
+//! 1. **Page births** — `Poisson(birth_rate·dt)` new pages appear, each
+//!    on a random site with quality drawn from the configured
+//!    distribution. Navigation links (parent → page, page → site root)
+//!    keep every page crawlable from its site root, as the paper's
+//!    mirroring crawler requires.
+//! 2. **Visits** — page `p` receives `Poisson(V(p,t)·dt)` visits, with
+//!    `V = r·P` (Proposition 1) or `V ∝ PageRank` (the rich-get-richer
+//!    variant). Each visit is by a uniformly random user
+//!    (Proposition 2). A user discovering `p` for the first time becomes
+//!    aware and, with probability `Q(p)` (Definition 1), likes it and
+//!    links to it from their home page.
+//! 3. **Forgetting** (optional) — each aware user forgets with
+//!    probability `forget_rate·dt`, dropping their like and their link —
+//!    the paper's future-work explanation for declining PageRanks.
+//!
+//! Everything is driven by one seeded RNG: identical configs give
+//! bit-identical histories.
+
+use std::collections::{HashMap, HashSet};
+
+use qrank_graph::{CsrGraph, DynamicGraph, GraphError, NodeId};
+use qrank_model::noise::binomial;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bitset::{BitSet, SampleSet};
+use crate::dist::sample_poisson;
+use crate::{SimConfig, VisitModel};
+
+/// Immutable facts about a page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageInfo {
+    /// Intrinsic quality `Q(p)` — hidden from estimators, used only for
+    /// ground-truth evaluation.
+    pub quality: f64,
+    /// Simulation time of creation.
+    pub created_at: f64,
+    /// Site index the page belongs to.
+    pub site: u32,
+    /// User who authored the page.
+    pub owner: u32,
+}
+
+/// The simulated web.
+#[derive(Debug)]
+pub struct World {
+    config: SimConfig,
+    rng: StdRng,
+    time: f64,
+    pages: Vec<PageInfo>,
+    /// Users aware of each page.
+    aware: Vec<SampleSet>,
+    /// Like membership per page (`popularity = liked_count/n`).
+    liked: Vec<BitSet>,
+    /// Number of likes per page.
+    liked_count: Vec<u32>,
+    /// Home page of each user (a node id in the link graph).
+    homepage: Vec<u32>,
+    /// Root page of each site.
+    site_roots: Vec<u32>,
+    /// Pages of each site (for parent sampling).
+    site_pages: Vec<Vec<u32>>,
+    /// The evolving link graph; node ids == page indices.
+    links: DynamicGraph,
+    /// Navigation edges that must survive forgetting.
+    structural: HashSet<(u32, u32)>,
+    /// `(page, user) -> src` of the like-link the user created.
+    like_link_src: HashMap<(u32, u32), u32>,
+    /// Cached PageRank for the ByPageRank visit model.
+    cached_pr: Vec<f64>,
+    cached_pr_pages: usize,
+}
+
+impl World {
+    /// Create a world at `t = 0`: one root page per site, one home page
+    /// per user (spread round-robin across sites), and a couple of
+    /// cross-site directory links between roots.
+    pub fn bootstrap(config: SimConfig) -> Result<World, GraphError> {
+        config.validate();
+        let mut world = World {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            time: 0.0,
+            pages: Vec::new(),
+            aware: Vec::new(),
+            liked: Vec::new(),
+            liked_count: Vec::new(),
+            homepage: Vec::new(),
+            site_roots: Vec::new(),
+            site_pages: vec![Vec::new(); config.num_sites],
+            links: DynamicGraph::new(),
+            structural: HashSet::new(),
+            like_link_src: HashMap::new(),
+            cached_pr: Vec::new(),
+            cached_pr_pages: 0,
+        };
+
+        // Site roots; each is authored by some user so it starts with
+        // one like (P(p,0) = 1/n — the model's minimum viable spark).
+        for site in 0..config.num_sites {
+            let quality = world.config.quality_dist.sample(&mut world.rng);
+            let owner = (site % config.num_users) as u32;
+            let id = world.new_page_raw(quality, site as u32, owner)?;
+            world.site_roots.push(id);
+        }
+        // Cross-site directory links between roots.
+        for site in 0..config.num_sites {
+            for _ in 0..2usize.min(config.num_sites - 1) {
+                let other = world.rng.random_range(0..config.num_sites);
+                if other != site {
+                    world.add_structural_edge(world.site_roots[site], world.site_roots[other])?;
+                }
+            }
+        }
+        // User home pages, round-robin across sites, linked from the root.
+        for user in 0..config.num_users {
+            let site = (user % config.num_sites) as u32;
+            let quality = world.config.quality_dist.sample(&mut world.rng);
+            let id = world.new_page_raw(quality, site, user as u32)?;
+            world.homepage.push(id);
+            world.add_structural_edge(world.site_roots[site as usize], id)?;
+            world.add_structural_edge(id, world.site_roots[site as usize])?;
+            // owners like their own page
+            world.aware[id as usize].insert(user as u32);
+            world.record_like(id, user as u32)?;
+        }
+        // Root owners like their roots (deferred until home pages exist,
+        // since like-links originate from the liker's home page).
+        for site in 0..config.num_sites {
+            let root = world.site_roots[site];
+            let owner = world.pages[root as usize].owner;
+            world.aware[root as usize].insert(owner);
+            world.record_like(root, owner)?;
+        }
+        Ok(world)
+    }
+
+    fn new_page_raw(&mut self, quality: f64, site: u32, owner: u32) -> Result<u32, GraphError> {
+        let id = self.links.add_node(self.time)?;
+        self.pages.push(PageInfo { quality, created_at: self.time, site, owner });
+        self.aware.push(SampleSet::new(self.config.num_users));
+        self.liked.push(BitSet::new(self.config.num_users));
+        self.liked_count.push(0);
+        self.site_pages[site as usize].push(id);
+        Ok(id)
+    }
+
+    fn add_structural_edge(&mut self, src: u32, dst: u32) -> Result<(), GraphError> {
+        if src != dst {
+            self.links.add_edge(src, dst, self.time)?;
+            self.structural.insert((src, dst));
+        }
+        Ok(())
+    }
+
+    /// A user starts liking a page: update popularity and create the
+    /// like-link from their home page.
+    fn record_like(&mut self, page: u32, user: u32) -> Result<(), GraphError> {
+        if !self.liked[page as usize].set(user) {
+            return Ok(());
+        }
+        self.liked_count[page as usize] += 1;
+        let src = self.homepage.get(user as usize).copied().unwrap_or(page);
+        if src != page {
+            self.links.add_edge(src, page, self.time)?;
+            self.like_link_src.insert((page, user), src);
+        }
+        Ok(())
+    }
+
+    /// Advance the simulation by one `dt` step.
+    pub fn step(&mut self) -> Result<(), GraphError> {
+        let cfg = self.config;
+        self.time += cfg.dt;
+
+        // 1. Page births.
+        let births = sample_poisson(&mut self.rng, cfg.page_birth_rate * cfg.dt);
+        for _ in 0..births {
+            let site = self.rng.random_range(0..cfg.num_sites) as u32;
+            let owner = self.rng.random_range(0..cfg.num_users) as u32;
+            let quality = cfg.quality_dist.sample(&mut self.rng);
+            let id = self.new_page_raw(quality, site, owner)?;
+            // navigation: random same-site parent links to the new page,
+            // which links back to its site root.
+            let parent = {
+                let sp = &self.site_pages[site as usize];
+                sp[self.rng.random_range(0..sp.len() - 1)] // exclude the new page itself
+            };
+            self.add_structural_edge(parent, id)?;
+            self.add_structural_edge(id, self.site_roots[site as usize])?;
+            // the author knows and likes their own page: P(p,0) = 1/n
+            self.aware[id as usize].insert(owner);
+            self.record_like(id, owner)?;
+        }
+
+        // 2. Visits. Each visit is by a uniformly random user
+        // (Proposition 2); only visits by currently-unaware users change
+        // any state, so we thin the Poisson visit stream to its
+        // discovery events: discoveries ~ Binomial(visits, unaware/n),
+        // each by a uniformly random unaware user. (Within one step the
+        // thinning probability is held at its start-of-step value — an
+        // O(dt^2) approximation, like the step discretization itself.)
+        let visit_weights = self.visit_weights();
+        let n = cfg.num_users;
+        for (p, &weight) in visit_weights.iter().enumerate() {
+            let lambda = weight * cfg.dt;
+            if lambda <= 0.0 {
+                continue;
+            }
+            let unaware = n - self.aware[p].len();
+            if unaware == 0 {
+                continue; // saturated: visits cannot change anything
+            }
+            let visits = sample_poisson(&mut self.rng, lambda);
+            if visits == 0 {
+                continue;
+            }
+            let discoveries =
+                binomial(&mut self.rng, visits, unaware as f64 / n as f64).min(unaware as u64);
+            for _ in 0..discoveries {
+                // rejection-sample an unaware user; expected trials
+                // n/unaware, total work bounded by n bit tests
+                let user = loop {
+                    let u = self.rng.random_range(0..n) as u32;
+                    if !self.aware[p].contains(u) {
+                        break u;
+                    }
+                };
+                self.aware[p].insert(user);
+                // first discovery: like with probability Q(p)
+                if self.rng.random::<f64>() < self.pages[p].quality {
+                    self.record_like(p as u32, user)?;
+                }
+            }
+        }
+
+        // 3. Forgetting.
+        if cfg.forget_rate > 0.0 {
+            let p_forget = (cfg.forget_rate * cfg.dt).min(1.0);
+            let num_pages = self.pages.len();
+            for p in 0..num_pages {
+                let k = binomial(&mut self.rng, self.aware[p].len() as u64, p_forget);
+                for _ in 0..k {
+                    if self.aware[p].is_empty() {
+                        break;
+                    }
+                    let idx = self.rng.random_range(0..self.aware[p].len());
+                    let user = self.aware[p].member_at(idx);
+                    // authors never forget their own page (they plainly
+                    // know their own work, and it keeps the navigation
+                    // structure rooted)
+                    if self.pages[p].owner == user {
+                        continue;
+                    }
+                    self.aware[p].remove_at(idx);
+                    self.forget_like(p as u32, user)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop `user`'s like of `page` (if any) and the associated
+    /// like-link, preserving structural navigation edges.
+    fn forget_like(&mut self, page: u32, user: u32) -> Result<(), GraphError> {
+        if self.liked[page as usize].clear(user) {
+            self.liked_count[page as usize] -= 1;
+            if let Some(src) = self.like_link_src.remove(&(page, user)) {
+                if !self.structural.contains(&(src, page)) {
+                    self.links.remove_edge(src, page, self.time)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Visit rate per page (visits per unit time, before `dt` scaling).
+    fn visit_weights(&mut self) -> Vec<f64> {
+        let n = self.config.num_users as f64;
+        let r = self.config.visit_ratio * n; // the model's r
+        match self.config.visit_model {
+            VisitModel::ByPopularity => {
+                self.liked_count.iter().map(|&l| r * l as f64 / n).collect()
+            }
+            VisitModel::ByPageRank => {
+                // Total visit volume matches the ByPopularity world at the
+                // same aggregate popularity; allocation follows PageRank.
+                let total: f64 = self.liked_count.iter().map(|&l| r * l as f64 / n).sum();
+                self.refresh_pagerank();
+                self.cached_pr.iter().map(|&pr| total * pr).collect()
+            }
+            VisitModel::BySearchRank { bias } => {
+                // Rank pages by PageRank; exposure decays with position.
+                let total: f64 = self.liked_count.iter().map(|&l| r * l as f64 / n).sum();
+                self.refresh_pagerank();
+                let mut order: Vec<usize> = (0..self.pages.len()).collect();
+                order.sort_by(|&a, &b| {
+                    self.cached_pr[b]
+                        .partial_cmp(&self.cached_pr[a])
+                        .expect("PageRank is never NaN")
+                        .then(a.cmp(&b))
+                });
+                let mut weight = vec![0.0; self.pages.len()];
+                let mut mass = 0.0;
+                for (pos, &p) in order.iter().enumerate() {
+                    let w = 1.0 / ((pos + 1) as f64).powf(bias);
+                    weight[p] = w;
+                    mass += w;
+                }
+                if mass > 0.0 {
+                    for w in weight.iter_mut() {
+                        *w *= total / mass;
+                    }
+                }
+                weight
+            }
+        }
+    }
+
+    fn refresh_pagerank(&mut self) {
+        // recompute when the page set grew by >2% or never computed
+        if self.cached_pr_pages > 0
+            && self.pages.len() * 100 <= self.cached_pr_pages * 102
+            && self.cached_pr.len() == self.pages.len()
+        {
+            return;
+        }
+        let g = self.links.graph_at_full(self.time);
+        let cfg = qrank_rank::PageRankConfig {
+            tolerance: 1e-9,
+            max_iterations: 100,
+            ..Default::default()
+        };
+        let mut pr = qrank_rank::pagerank(&g, &cfg).scores;
+        pr.resize(self.pages.len(), 0.0);
+        self.cached_pr = pr;
+        self.cached_pr_pages = self.pages.len();
+    }
+
+    /// Advance until the clock reaches at least `t`.
+    pub fn run_until(&mut self, t: f64) {
+        while self.time < t {
+            self.step().expect("simulation step cannot fail after bootstrap");
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The configuration the world was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Number of pages ever created.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Page metadata.
+    pub fn page(&self, p: u32) -> &PageInfo {
+        &self.pages[p as usize]
+    }
+
+    /// Ground-truth qualities of all pages (for evaluation only).
+    pub fn qualities(&self) -> Vec<f64> {
+        self.pages.iter().map(|p| p.quality).collect()
+    }
+
+    /// Current (simple) popularity `P(p,t) = likes/n`.
+    pub fn popularity(&self, p: u32) -> f64 {
+        self.liked_count[p as usize] as f64 / self.config.num_users as f64
+    }
+
+    /// Current popularity of every page — the "traffic data" view of the
+    /// corpus (the paper's final future-work item applies the estimator
+    /// to site-traffic measurements, which are popularity fractions
+    /// rather than PageRank scores).
+    pub fn popularities(&self) -> Vec<f64> {
+        (0..self.pages.len() as u32).map(|p| self.popularity(p)).collect()
+    }
+
+    /// Current user awareness `A(p,t)`.
+    pub fn awareness(&self, p: u32) -> f64 {
+        self.aware[p as usize].len() as f64 / self.config.num_users as f64
+    }
+
+    /// Root page of each site (crawl entry points).
+    pub fn site_roots(&self) -> &[u32] {
+        &self.site_roots
+    }
+
+    /// Site-level popularity: the fraction of users who like *at least
+    /// one* page of the site — the quantity NetRatings-style traffic
+    /// panels measure, and the unit the paper's traffic future-work
+    /// estimates quality for.
+    pub fn site_popularity(&self, site: u32) -> f64 {
+        let sets = self.site_pages[site as usize]
+            .iter()
+            .map(|&p| &self.liked[p as usize]);
+        crate::bitset::BitSet::union_count(sets) as f64 / self.config.num_users as f64
+    }
+
+    /// The link graph as of time `t <= now`, over all page ids (pages not
+    /// yet born appear isolated). Node ids equal page indices.
+    pub fn link_graph_at(&self, t: f64) -> CsrGraph {
+        self.links.graph_at_full(t)
+    }
+
+    /// The link graph restricted to pages alive at `t`, plus the mapping
+    /// `node -> page id`.
+    pub fn alive_graph_at(&self, t: f64) -> (CsrGraph, Vec<NodeId>) {
+        self.links.snapshot_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            num_users: 300,
+            num_sites: 5,
+            visit_ratio: 3.0,
+            page_birth_rate: 10.0,
+            dt: 0.05,
+            seed: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bootstrap_shape() {
+        let w = World::bootstrap(small_config()).unwrap();
+        assert_eq!(w.num_pages(), 5 + 300); // roots + homepages
+        assert_eq!(w.site_roots().len(), 5);
+        assert_eq!(w.time(), 0.0);
+        // every homepage owner likes their page
+        for user in 0..300u32 {
+            let hp = w.homepage[user as usize];
+            assert!(w.popularity(hp) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = World::bootstrap(small_config()).unwrap();
+        let mut b = World::bootstrap(small_config()).unwrap();
+        a.run_until(1.0);
+        b.run_until(1.0);
+        assert_eq!(a.num_pages(), b.num_pages());
+        for p in 0..a.num_pages() as u32 {
+            assert_eq!(a.popularity(p), b.popularity(p));
+            assert_eq!(a.page(p).quality, b.page(p).quality);
+        }
+        assert_eq!(
+            a.link_graph_at(1.0).edges().collect::<Vec<_>>(),
+            b.link_graph_at(1.0).edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pages_are_born_over_time() {
+        let mut w = World::bootstrap(small_config()).unwrap();
+        let before = w.num_pages();
+        w.run_until(2.0);
+        let born = w.num_pages() - before;
+        // expected 10/unit * 2 units = ~20 births
+        assert!((5..=60).contains(&born), "births {born}");
+    }
+
+    #[test]
+    fn popularity_grows_toward_quality() {
+        // with a high visit ratio and long run, popularity approaches Q
+        let cfg = SimConfig {
+            num_users: 400,
+            num_sites: 2,
+            visit_ratio: 6.0,
+            page_birth_rate: 0.0,
+            quality_dist: crate::QualityDist::Fixed(0.5),
+            dt: 0.05,
+            seed: 13,
+            ..Default::default()
+        };
+        let mut w = World::bootstrap(cfg).unwrap();
+        w.run_until(15.0);
+        // site roots have been visited plenty; popularity ~ quality
+        for &root in w.site_roots() {
+            let pop = w.popularity(root);
+            assert!(
+                (pop - 0.5).abs() < 0.12,
+                "root popularity {pop} should approach quality 0.5"
+            );
+            let aw = w.awareness(root);
+            assert!(aw > 0.9, "awareness {aw} should saturate");
+        }
+    }
+
+    #[test]
+    fn popularity_never_exceeds_awareness() {
+        let mut w = World::bootstrap(small_config()).unwrap();
+        w.run_until(3.0);
+        for p in 0..w.num_pages() as u32 {
+            assert!(w.popularity(p) <= w.awareness(p) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_pages_crawlable_from_their_site_root() {
+        let mut w = World::bootstrap(small_config()).unwrap();
+        w.run_until(2.0);
+        let g = w.link_graph_at(w.time());
+        for &root in w.site_roots() {
+            let reached: std::collections::HashSet<u32> =
+                qrank_graph::traversal::bfs(&g, root).into_iter().collect();
+            for (p, info) in w.pages.iter().enumerate() {
+                if w.site_roots[info.site as usize] == root {
+                    assert!(reached.contains(&(p as u32)), "page {p} unreachable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forgetting_reduces_popularity() {
+        let base = SimConfig {
+            num_users: 400,
+            num_sites: 3,
+            visit_ratio: 4.0,
+            page_birth_rate: 0.0,
+            quality_dist: crate::QualityDist::Fixed(0.6),
+            dt: 0.05,
+            seed: 17,
+            ..Default::default()
+        };
+        let mut keep = World::bootstrap(base).unwrap();
+        let mut forget = World::bootstrap(SimConfig { forget_rate: 2.0, ..base }).unwrap();
+        keep.run_until(12.0);
+        forget.run_until(12.0);
+        let avg = |w: &World| {
+            let roots = w.site_roots();
+            roots.iter().map(|&r| w.popularity(r)).sum::<f64>() / roots.len() as f64
+        };
+        assert!(
+            avg(&forget) < avg(&keep) * 0.8,
+            "forgetting should depress popularity: {} vs {}",
+            avg(&forget),
+            avg(&keep)
+        );
+    }
+
+    #[test]
+    fn forgetting_removes_like_links_but_not_navigation() {
+        let cfg = SimConfig {
+            num_users: 200,
+            num_sites: 2,
+            visit_ratio: 5.0,
+            page_birth_rate: 5.0,
+            quality_dist: crate::QualityDist::Fixed(0.8),
+            forget_rate: 5.0,
+            dt: 0.05,
+            seed: 19,
+            ..Default::default()
+        };
+        let mut w = World::bootstrap(cfg).unwrap();
+        w.run_until(6.0);
+        // navigation links intact: everything still crawlable
+        let g = w.link_graph_at(w.time());
+        for &root in w.site_roots() {
+            let reached: std::collections::HashSet<u32> =
+                qrank_graph::traversal::bfs(&g, root).into_iter().collect();
+            for (p, info) in w.pages.iter().enumerate() {
+                if w.site_roots[info.site as usize] == root {
+                    assert!(reached.contains(&(p as u32)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_visit_model_runs_and_differs() {
+        let base = SimConfig {
+            num_users: 200,
+            num_sites: 3,
+            page_birth_rate: 5.0,
+            dt: 0.1,
+            seed: 23,
+            ..Default::default()
+        };
+        let mut by_pop = World::bootstrap(base).unwrap();
+        let mut by_pr =
+            World::bootstrap(SimConfig { visit_model: VisitModel::ByPageRank, ..base }).unwrap();
+        by_pop.run_until(3.0);
+        by_pr.run_until(3.0);
+        // both advanced; trajectories differ (rich-get-richer vs model)
+        assert!(by_pr.num_pages() > 200);
+        let pops_a: Vec<f64> = (0..by_pop.site_roots().len())
+            .map(|i| by_pop.popularity(by_pop.site_roots()[i]))
+            .collect();
+        let pops_b: Vec<f64> = (0..by_pr.site_roots().len())
+            .map(|i| by_pr.popularity(by_pr.site_roots()[i]))
+            .collect();
+        assert_ne!(pops_a, pops_b);
+    }
+
+    #[test]
+    fn search_rank_exposure_starves_the_tail() {
+        // Under position-biased exposure, bottom-ranked pages receive
+        // almost no visits: their awareness stays near the author alone,
+        // while the uniform-popularity world spreads discovery broadly.
+        let base = SimConfig {
+            num_users: 400,
+            num_sites: 5,
+            visit_ratio: 2.0,
+            page_birth_rate: 20.0,
+            quality_dist: crate::QualityDist::Fixed(0.7),
+            dt: 0.1,
+            seed: 29,
+            ..Default::default()
+        };
+        let mut fair = World::bootstrap(base).unwrap();
+        let mut biased = World::bootstrap(SimConfig {
+            visit_model: VisitModel::BySearchRank { bias: 1.5 },
+            ..base
+        })
+        .unwrap();
+        fair.run_until(6.0);
+        biased.run_until(6.0);
+        // compare awareness of late-born pages (the discovery-starved
+        // cohort) between the two worlds
+        let late_awareness = |w: &World| -> f64 {
+            let mut sum = 0.0f64;
+            let mut count = 0.0f64;
+            for p in 0..w.num_pages() as u32 {
+                if w.page(p).created_at > 2.0 {
+                    sum += w.awareness(p);
+                    count += 1.0;
+                }
+            }
+            sum / count.max(1.0)
+        };
+        let fair_aw = late_awareness(&fair);
+        let biased_aw = late_awareness(&biased);
+        assert!(
+            biased_aw < fair_aw,
+            "position bias should starve young pages: {biased_aw} vs {fair_aw}"
+        );
+    }
+
+    #[test]
+    fn site_popularity_bounds_page_popularity() {
+        let mut w = World::bootstrap(small_config()).unwrap();
+        w.run_until(3.0);
+        for site in 0..w.config().num_sites as u32 {
+            let sp = w.site_popularity(site);
+            assert!((0.0..=1.0).contains(&sp));
+            // at least as popular as its most popular page
+            let max_page = w
+                .site_pages[site as usize]
+                .iter()
+                .map(|&p| w.popularity(p))
+                .fold(0.0f64, f64::max);
+            assert!(sp >= max_page - 1e-12, "site {site}: {sp} < {max_page}");
+        }
+    }
+
+    #[test]
+    fn link_graph_time_travel() {
+        let mut w = World::bootstrap(small_config()).unwrap();
+        w.run_until(2.0);
+        let early = w.link_graph_at(0.0);
+        let late = w.link_graph_at(2.0);
+        assert!(late.num_edges() > early.num_edges());
+        // both over the full page id space
+        assert_eq!(early.num_nodes(), late.num_nodes());
+        let (alive_early, map) = w.alive_graph_at(0.0);
+        assert_eq!(alive_early.num_nodes(), map.len());
+        assert_eq!(map.len(), 305); // only bootstrap pages existed at t=0
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over random simulator configurations: the structural
+//! invariants every world must maintain regardless of parameters.
+
+use proptest::prelude::*;
+use qrank_sim::{QualityDist, SimConfig, VisitModel, World};
+
+fn arbitrary_config() -> impl Strategy<Value = SimConfig> {
+    (
+        50usize..300,       // users
+        1usize..8,          // sites
+        0.2f64..3.0,        // visit ratio
+        0.0f64..20.0,       // birth rate
+        0.0f64..2.0,        // forget rate
+        0u64..1000,         // seed
+        prop::sample::select(vec![
+            VisitModel::ByPopularity,
+            VisitModel::ByPageRank,
+            VisitModel::BySearchRank { bias: 1.2 },
+        ]),
+        prop::sample::select(vec![
+            QualityDist::Uniform { lo: 0.05, hi: 0.95 },
+            QualityDist::Fixed(0.5),
+            QualityDist::Bimodal { p_high: 0.2 },
+        ]),
+    )
+        .prop_map(
+            |(num_users, num_sites, visit_ratio, page_birth_rate, forget_rate, seed, visit_model, quality_dist)| {
+                SimConfig {
+                    num_users,
+                    num_sites,
+                    visit_ratio,
+                    page_birth_rate,
+                    forget_rate,
+                    quality_dist,
+                    visit_model,
+                    dt: 0.25,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core conservation laws of the agent model, under every visit
+    /// model, with and without forgetting and births.
+    #[test]
+    fn world_invariants_hold(cfg in arbitrary_config()) {
+        let mut w = World::bootstrap(cfg).expect("bootstrap");
+        w.run_until(2.0);
+        let n_users = cfg.num_users as f64;
+        for p in 0..w.num_pages() as u32 {
+            let pop = w.popularity(p);
+            let aware = w.awareness(p);
+            // likes are a subset of aware users
+            prop_assert!(pop <= aware + 1e-12, "page {p}: pop {pop} > aware {aware}");
+            prop_assert!((0.0..=1.0).contains(&pop));
+            prop_assert!((0.0..=1.0).contains(&aware));
+            // quality is a valid probability
+            let q = w.page(p).quality;
+            prop_assert!((0.0..=1.0).contains(&q));
+            // the author never forgets: every page keeps >= 1 like...
+            // except bootstrap root-owners may not own a homepage edge,
+            // but the like itself persists
+            prop_assert!(pop >= 1.0 / n_users - 1e-12, "page {p} lost its author like");
+            // creation times never exceed the clock
+            prop_assert!(w.page(p).created_at <= w.time() + 1e-9);
+        }
+        // the link graph references only existing pages
+        let g = w.link_graph_at(w.time());
+        prop_assert_eq!(g.num_nodes(), w.num_pages());
+    }
+
+    /// Determinism: identical configs produce identical worlds even under
+    /// the PageRank-coupled visit models.
+    #[test]
+    fn worlds_are_deterministic(cfg in arbitrary_config()) {
+        let mut a = World::bootstrap(cfg).expect("bootstrap");
+        let mut b = World::bootstrap(cfg).expect("bootstrap");
+        a.run_until(1.5);
+        b.run_until(1.5);
+        prop_assert_eq!(a.num_pages(), b.num_pages());
+        for p in 0..a.num_pages() as u32 {
+            prop_assert_eq!(a.popularity(p), b.popularity(p));
+            prop_assert_eq!(a.awareness(p), b.awareness(p));
+        }
+        prop_assert_eq!(
+            a.link_graph_at(1.5).num_edges(),
+            b.link_graph_at(1.5).num_edges()
+        );
+    }
+}

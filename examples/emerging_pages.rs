@@ -1,0 +1,99 @@
+//! The paper's motivating scenario: surface young, high-quality pages
+//! that PageRank buries.
+//!
+//! We simulate an established web, inject a cohort of *new high-quality
+//! pages*, and compare where PageRank ranks them against where the
+//! quality estimator ranks them. The "rich-get-richer" bias the paper
+//! describes is visible directly: the newcomers have top-decile quality
+//! but bottom-decile PageRank; the estimator moves them most of the way
+//! up.
+//!
+//! Run with `cargo run --release --example emerging_pages`.
+
+use qrank::core::{run_pipeline, PipelineConfig};
+use qrank::sim::{Crawler, QualityDist, SimConfig, SnapshotSchedule, World};
+
+fn mean_rank(order: &[usize], members: &std::collections::HashSet<usize>) -> f64 {
+    let mut sum = 0.0;
+    for (rank, idx) in order.iter().enumerate() {
+        if members.contains(idx) {
+            sum += rank as f64;
+        }
+    }
+    sum / members.len() as f64
+}
+
+fn main() {
+    let cfg = SimConfig {
+        num_users: 1_500,
+        num_sites: 30,
+        visit_ratio: 0.8,
+        page_birth_rate: 60.0,
+        quality_dist: QualityDist::Bimodal { p_high: 0.15 },
+        dt: 0.05,
+        seed: 2024,
+        ..Default::default()
+    };
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+
+    // Let the established web mature, then measure over the paper's
+    // four-snapshot timeline.
+    let schedule = SnapshotSchedule::paper_timeline(10.0);
+    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
+    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
+        .expect("pipeline");
+
+    // "Emerging gems": pages born in the 3 months before the first
+    // snapshot with top-tier quality.
+    let t1 = schedule.times[0];
+    let mut gems = std::collections::HashSet::new();
+    for (i, pid) in report.pages.iter().enumerate() {
+        let info = world.page(pid.0 as u32);
+        if info.created_at > t1 - 3.0 && info.quality > 0.6 {
+            gems.insert(i);
+        }
+    }
+    println!(
+        "corpus: {} common pages, {} emerging gems (born < 3 months before t1, quality > 0.6)\n",
+        report.pages.len(),
+        gems.len()
+    );
+    if gems.is_empty() {
+        println!("no gems this seed; try another");
+        return;
+    }
+
+    // Rank pages by current PageRank and by the quality estimate.
+    let rank_order = |scores: &[f64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+        idx
+    };
+    let by_pr = rank_order(&report.current);
+    let by_q = rank_order(&report.estimates);
+    let by_future = rank_order(&report.future);
+
+    let n = report.pages.len() as f64;
+    println!("mean rank of the emerging gems (0 = best, {} pages):", report.pages.len());
+    println!(
+        "  by current PageRank (t3):    {:>7.1}  (percentile {:.0}%)",
+        mean_rank(&by_pr, &gems),
+        100.0 * (1.0 - mean_rank(&by_pr, &gems) / n)
+    );
+    println!(
+        "  by quality estimate:         {:>7.1}  (percentile {:.0}%)",
+        mean_rank(&by_q, &gems),
+        100.0 * (1.0 - mean_rank(&by_q, &gems) / n)
+    );
+    println!(
+        "  by future PageRank (t4):     {:>7.1}  (percentile {:.0}%)",
+        mean_rank(&by_future, &gems),
+        100.0 * (1.0 - mean_rank(&by_future, &gems) / n)
+    );
+    println!(
+        "\nthe estimator ranks the gems {} positions higher than current PageRank does,",
+        (mean_rank(&by_pr, &gems) - mean_rank(&by_q, &gems)).round()
+    );
+    println!("anticipating where the future PageRank will put them - the paper's goal of");
+    println!("\"help[ing] new and high-quality pages get the attention that they deserve\".");
+}

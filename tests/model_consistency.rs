@@ -1,0 +1,102 @@
+//! Cross-crate consistency of the user-visitation model: the closed
+//! forms (qrank-model), numerical integration (qrank-model::ode), and
+//! the stochastic agent simulation (qrank-sim) must tell the same story.
+
+use qrank::model::ode::closed_form_deviation;
+use qrank::model::popularity;
+use qrank::model::ModelParams;
+use qrank::sim::montecarlo::{average_trajectories, simulate_single_page};
+use qrank::sim::{QualityDist, SimConfig, World};
+
+#[test]
+fn closed_form_solves_the_ode_for_paper_parameters() {
+    for p in [ModelParams::figure1(), ModelParams::figure2()] {
+        let dev = closed_form_deviation(&p, 100.0, 20_000);
+        assert!(dev < 1e-7, "deviation {dev}");
+    }
+}
+
+#[test]
+fn monte_carlo_single_page_matches_theorem_1() {
+    let params = ModelParams::new(0.5, 30_000.0, 60_000.0, 5e-4).unwrap();
+    let runs: Vec<_> =
+        (0..6).map(|s| simulate_single_page(&params, 0.05, 10.0, 500 + s)).collect();
+    let avg = average_trajectories(&runs);
+    for &(t, mc) in avg.iter().step_by(40) {
+        let cf = popularity::popularity(&params, t);
+        assert!((mc - cf).abs() < 0.04, "t={t}: MC {mc} vs closed form {cf}");
+    }
+}
+
+#[test]
+fn full_world_pages_follow_the_logistic_curve() {
+    // Track a site root's popularity in the full agent world and compare
+    // with the closed form using the same parameters.
+    let quality = 0.6;
+    let cfg = SimConfig {
+        num_users: 2_000,
+        num_sites: 2,
+        visit_ratio: 2.0,
+        page_birth_rate: 0.0, // frozen corpus: pure popularity dynamics
+        quality_dist: QualityDist::Fixed(quality),
+        dt: 0.05,
+        seed: 77,
+        ..Default::default()
+    };
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+    let n = 2_000.0;
+    let params = ModelParams::new(quality, n, 2.0 * n, 1.0 / n).unwrap();
+    let root = world.site_roots()[0];
+
+    let mut max_err: f64 = 0.0;
+    for step in 1..=12 {
+        let t = step as f64;
+        world.run_until(t);
+        let sim_pop = world.popularity(root);
+        let model_pop = popularity::popularity(&params, t);
+        max_err = max_err.max((sim_pop - model_pop).abs());
+    }
+    // a single stochastic trajectory with n=2000: generous but meaningful
+    assert!(max_err < 0.12, "world deviates from Theorem 1 by {max_err}");
+    // and it must saturate near the quality (Corollary 1)
+    world.run_until(25.0);
+    assert!(
+        (world.popularity(root) - quality).abs() < 0.08,
+        "saturation at {} vs quality {quality}",
+        world.popularity(root)
+    );
+}
+
+#[test]
+fn theorem_2_discretized_recovers_quality_from_sim_popularity() {
+    // The estimator identity Q = (n/r)(dP/dt)/P + P, applied to the
+    // simulated popularity of a young page with finite differences.
+    let quality = 0.7;
+    let cfg = SimConfig {
+        num_users: 5_000,
+        num_sites: 2,
+        visit_ratio: 1.0,
+        page_birth_rate: 0.0,
+        quality_dist: QualityDist::Fixed(quality),
+        dt: 0.05,
+        seed: 99,
+        ..Default::default()
+    };
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+    let root = world.site_roots()[0];
+    // sample popularity in mid-expansion
+    let (t1, t2) = (4.0, 6.0);
+    world.run_until(t1);
+    let p1 = world.popularity(root);
+    world.run_until(t2);
+    let p2 = world.popularity(root);
+    assert!(p2 > p1, "page should be growing");
+    let p_mid = (p1 + p2) / 2.0;
+    let dpdt = (p2 - p1) / (t2 - t1);
+    // n/r = 1/visit_ratio = 1.0
+    let q_est = dpdt / p_mid + p_mid;
+    assert!(
+        (q_est - quality).abs() < 0.25,
+        "discretized Theorem 2 gives {q_est}, want ~{quality}"
+    );
+}

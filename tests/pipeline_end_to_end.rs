@@ -1,0 +1,121 @@
+//! End-to-end integration: simulate a web, crawl it on the paper's
+//! timeline, estimate quality, evaluate against the held-out future
+//! snapshot — the full Section 8 protocol across all five crates.
+
+use qrank::core::{run_pipeline, run_pipeline_with, PipelineConfig, PopularityMetric};
+use qrank::sim::{Crawler, QualityDist, SimConfig, SnapshotSchedule, World};
+
+fn study(seed: u64) -> (qrank::graph::SnapshotSeries, World) {
+    let cfg = SimConfig {
+        num_users: 600,
+        num_sites: 12,
+        visit_ratio: 0.8,
+        page_birth_rate: 25.0,
+        quality_dist: QualityDist::Uniform { lo: 0.05, hi: 0.95 },
+        dt: 0.1,
+        seed,
+        ..Default::default()
+    };
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+    let schedule = SnapshotSchedule::paper_timeline(12.0);
+    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
+    (series, world)
+}
+
+#[test]
+fn estimator_beats_current_pagerank_baseline() {
+    let (series, _world) = study(11);
+    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
+        .expect("pipeline");
+    assert!(report.num_selected() > 30, "selected {}", report.num_selected());
+    assert!(
+        report.summary_estimate.mean_error < report.summary_current.mean_error,
+        "estimate err {} should beat baseline err {}",
+        report.summary_estimate.mean_error,
+        report.summary_current.mean_error
+    );
+    assert!(
+        report.summary_estimate.frac_below_01 >= report.summary_current.frac_below_01,
+        "histogram low-error mass should favor the estimator"
+    );
+}
+
+#[test]
+fn estimator_correlates_with_ground_truth_quality() {
+    use qrank::core::correlation::spearman;
+    let (series, world) = study(13);
+    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
+        .expect("pipeline");
+    let truths: Vec<f64> =
+        report.pages.iter().map(|p| world.page(p.0 as u32).quality).collect();
+    let rho_est = spearman(&report.estimates, &truths);
+    let rho_cur = spearman(&report.current, &truths);
+    // both correlate (popularity tracks quality under the model), and
+    // the estimator should not be worse
+    assert!(rho_est > 0.2, "estimate-truth spearman {rho_est}");
+    assert!(
+        rho_est >= rho_cur - 0.02,
+        "estimator rank quality {rho_est} should be >= baseline {rho_cur}"
+    );
+}
+
+#[test]
+fn indegree_metric_also_works_end_to_end() {
+    let (series, _world) = study(17);
+    let report = run_pipeline_with(
+        &series,
+        &PopularityMetric::InDegree,
+        &qrank::core::PaperEstimator { c: 1.0, flat_tolerance: 0.0 },
+        0.05,
+    )
+    .expect("pipeline");
+    assert!(report.num_selected() > 10);
+    // footnote 4 of the paper: link counts can substitute for PageRank
+    assert!(
+        report.summary_estimate.mean_error <= report.summary_current.mean_error * 1.05,
+        "indegree estimator {} vs baseline {}",
+        report.summary_estimate.mean_error,
+        report.summary_current.mean_error
+    );
+}
+
+#[test]
+fn deterministic_pipeline_given_seed() {
+    let (series_a, _) = study(19);
+    let (series_b, _) = study(19);
+    let cfg = PipelineConfig::default();
+    let a = run_pipeline(&series_a, &cfg).expect("pipeline a");
+    let b = run_pipeline(&series_b, &cfg).expect("pipeline b");
+    assert_eq!(a.pages, b.pages);
+    assert_eq!(a.estimates, b.estimates);
+    assert_eq!(a.summary_estimate.mean_error, b.summary_estimate.mean_error);
+}
+
+#[test]
+fn common_pages_shrink_as_web_grows() {
+    let (series, world) = study(23);
+    let common = series.common_pages();
+    let last = series.snapshots().last().expect("4 snapshots");
+    assert!(common.len() < last.num_pages(), "new pages must appear after t1");
+    assert!(common.len() > 500, "bootstrap pages persist");
+    assert!(world.num_pages() >= last.num_pages());
+}
+
+#[test]
+fn warm_started_trajectories_match_cold_computation() {
+    use qrank::core::trajectory::compute_trajectories;
+    let (series, _world) = study(29);
+    let aligned = series.aligned_to_common().expect("align");
+    let metric = PopularityMetric::paper_pagerank();
+    let warm = compute_trajectories(&aligned, &metric).expect("warm");
+    for (k, snap) in aligned.snapshots().iter().enumerate() {
+        let cold = metric.compute(&snap.graph);
+        for (p, &c) in cold.iter().enumerate() {
+            assert!(
+                (warm.values[p][k] - c).abs() < 1e-5,
+                "snapshot {k} page {p}: warm {} vs cold {c}",
+                warm.values[p][k]
+            );
+        }
+    }
+}

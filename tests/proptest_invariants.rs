@@ -1,0 +1,156 @@
+//! Property-based tests of the core invariants, across crates.
+
+use proptest::prelude::*;
+use qrank::core::estimator::{CurrentPopularity, PaperEstimator, QualityEstimator};
+use qrank::core::evaluation::relative_error;
+use qrank::core::PopularityTrajectories;
+use qrank::graph::{CsrGraph, GraphBuilder, NodeId, PageId};
+use qrank::model::popularity;
+use qrank::model::ModelParams;
+use qrank::rank::{pagerank, PageRankConfig};
+
+fn arbitrary_edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PageRank is a probability distribution on any graph.
+    #[test]
+    fn pagerank_is_probability_distribution(edges in arbitrary_edges(40, 200)) {
+        let g = CsrGraph::from_edges(40, &edges);
+        let r = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = r.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8, "sum = {sum}");
+        prop_assert!(r.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    /// PageRank commutes with node relabeling: relabel(PR(g)) == PR(relabel(g)).
+    #[test]
+    fn pagerank_is_relabeling_equivariant(
+        edges in arbitrary_edges(12, 60),
+        rot in 1u32..11,
+    ) {
+        let n = 12u32;
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let perm: Vec<NodeId> = (0..n).map(|i| (i + rot) % n).collect();
+        let gp = g.relabel(&perm).expect("valid permutation");
+        let cfg = PageRankConfig { tolerance: 1e-13, ..Default::default() };
+        let r = pagerank(&g, &cfg);
+        let rp = pagerank(&gp, &cfg);
+        for (old, &new) in perm.iter().enumerate() {
+            let new = new as usize;
+            prop_assert!(
+                (r.scores[old] - rp.scores[new]).abs() < 1e-8,
+                "node {old} -> {new}: {} vs {}", r.scores[old], rp.scores[new]
+            );
+        }
+    }
+
+    /// CSR construction round-trips through the builder regardless of
+    /// insertion order and duplicates.
+    #[test]
+    fn builder_is_order_insensitive(edges in arbitrary_edges(30, 150), seed in 0u64..1000) {
+        let a = {
+            let mut b = GraphBuilder::with_nodes(30);
+            b.add_edges(edges.iter().copied());
+            b.build()
+        };
+        // shuffle deterministically and duplicate some edges
+        let mut shuffled = edges.clone();
+        let k = shuffled.len();
+        if k > 1 {
+            for i in 0..k {
+                shuffled.swap(i, (seed as usize + i * 7) % k);
+            }
+        }
+        shuffled.extend(edges.iter().take(k / 2).copied());
+        let b2 = {
+            let mut b = GraphBuilder::with_nodes(30);
+            b.add_edges(shuffled);
+            b.build()
+        };
+        prop_assert_eq!(a, b2);
+    }
+
+    /// Theorem 2 holds for arbitrary valid model parameters.
+    #[test]
+    fn theorem_2_for_random_parameters(
+        q in 0.01f64..1.0,
+        p0_frac in 1e-6f64..1.0,
+        ratio in 0.1f64..10.0,
+        t in 0.0f64..200.0,
+    ) {
+        let params = ModelParams::new(q, 1e6, ratio * 1e6, q * p0_frac).expect("valid");
+        let estimate = popularity::quality_estimate(&params, t);
+        prop_assert!((estimate - q).abs() < 1e-6, "Q = {q}, estimate = {estimate}");
+        // awareness stays in [0, 1] and popularity below quality
+        let a = popularity::awareness(&params, t);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+        prop_assert!(popularity::popularity(&params, t) <= q + 1e-12);
+    }
+
+    /// The paper estimator equals the current-popularity baseline
+    /// whenever popularity did not change (the paper states this).
+    #[test]
+    fn estimator_reduces_to_baseline_on_static_trajectories(
+        values in prop::collection::vec(0.01f64..10.0, 1..30),
+        snapshots in 2usize..5,
+    ) {
+        let traj = PopularityTrajectories {
+            times: (0..snapshots).map(|i| i as f64).collect(),
+            values: values.iter().map(|&v| vec![v; snapshots]).collect(),
+            pages: (0..values.len()).map(|i| PageId(i as u64)).collect(),
+        };
+        let est = PaperEstimator::default().estimate(&traj).expect("estimate");
+        let base = CurrentPopularity.estimate(&traj).expect("estimate");
+        prop_assert_eq!(est, base);
+    }
+
+    /// Relative error is scale-invariant: err(s*a, s*b) == err(a, b).
+    #[test]
+    fn relative_error_scale_invariant(
+        a in 0.001f64..100.0,
+        b in 0.001f64..100.0,
+        s in 0.001f64..1000.0,
+    ) {
+        let e1 = relative_error(a, b);
+        let e2 = relative_error(s * a, s * b);
+        prop_assert!((e1 - e2).abs() < 1e-9 * (1.0 + e1));
+    }
+
+    /// Awareness is monotone non-decreasing in time.
+    #[test]
+    fn awareness_is_monotone(
+        q in 0.05f64..1.0,
+        t1 in 0.0f64..100.0,
+        dt in 0.0f64..100.0,
+    ) {
+        let params = ModelParams::new(q, 1e6, 1e6, q * 1e-4).expect("valid");
+        let a1 = popularity::awareness(&params, t1);
+        let a2 = popularity::awareness(&params, t1 + dt);
+        prop_assert!(a2 + 1e-12 >= a1);
+    }
+
+    /// Induced subgraph never invents edges: every edge of the subgraph
+    /// maps back to an edge of the parent.
+    #[test]
+    fn induced_subgraph_is_sound(
+        edges in arbitrary_edges(25, 120),
+        keep in prop::collection::vec(0u32..25, 0..25),
+    ) {
+        let g = CsrGraph::from_edges(25, &edges);
+        let (sub, map) = g.induced_subgraph(&keep);
+        for (u, v) in sub.edges() {
+            prop_assert!(g.has_edge(map[u as usize], map[v as usize]));
+        }
+        // and keeps every edge among kept nodes
+        let kept: std::collections::HashSet<u32> = map.iter().copied().collect();
+        let expected = g
+            .edges()
+            .filter(|(u, v)| kept.contains(u) && kept.contains(v))
+            .count();
+        prop_assert_eq!(sub.num_edges(), expected);
+    }
+}
