@@ -18,7 +18,9 @@ fn synthetic_trajectories(pages: usize, snapshots: usize, seed: u64) -> Populari
         .map(|_| {
             let start: f64 = rng.random::<f64>() + 0.1;
             let growth: f64 = 1.0 + rng.random::<f64>() * 0.2;
-            (0..snapshots).map(|k| start * growth.powi(k as i32)).collect()
+            (0..snapshots)
+                .map(|k| start * growth.powi(k as i32))
+                .collect()
         })
         .collect();
     PopularityTrajectories {
@@ -34,7 +36,12 @@ fn bench_estimators(c: &mut Criterion) {
     group.bench_function("paper_estimator_100k_pages", |b| {
         b.iter(|| black_box(PaperEstimator::default().estimate(&traj).unwrap()))
     });
-    let fit = LogisticFit { visit_ratio: 1.0, q_max: 10.0, flat_tolerance: 1e-3, max_boost: 10.0 };
+    let fit = LogisticFit {
+        visit_ratio: 1.0,
+        q_max: 10.0,
+        flat_tolerance: 1e-3,
+        max_boost: 10.0,
+    };
     let small = synthetic_trajectories(5_000, 4, 8);
     group.bench_function("logistic_fit_5k_pages", |b| {
         b.iter(|| black_box(fit.estimate(&small).unwrap()))
@@ -57,7 +64,9 @@ fn bench_pipeline(c: &mut Criterion) {
     };
     let mut world = World::bootstrap(cfg).expect("bootstrap");
     let schedule = SnapshotSchedule::paper_timeline(4.0);
-    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
+    let series = Crawler::default()
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl");
     group.bench_function("full_pipeline_small_series", |b| {
         b.iter(|| black_box(run_pipeline(&series, &PipelineConfig::default()).unwrap()))
     });

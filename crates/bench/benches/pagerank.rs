@@ -22,7 +22,10 @@ fn bench_solvers(c: &mut Criterion) {
     for &n in &[10_000usize, 50_000] {
         let mut rng = StdRng::seed_from_u64(1);
         let g = barabasi_albert(n, 5, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-9,
+            ..Default::default()
+        };
 
         group.bench_with_input(BenchmarkId::new("power", n), &g, |b, g| {
             b.iter(|| black_box(pagerank(g, &cfg)))
@@ -52,7 +55,10 @@ fn bench_warm_start(c: &mut Criterion) {
     group.sample_size(10);
     let mut rng = StdRng::seed_from_u64(3);
     let g = barabasi_albert(50_000, 5, &mut rng);
-    let cfg = PageRankConfig { tolerance: 1e-9, ..Default::default() };
+    let cfg = PageRankConfig {
+        tolerance: 1e-9,
+        ..Default::default()
+    };
     let prev = pagerank(&g, &cfg);
     // next "snapshot": small edge delta
     let mut edges: Vec<(u32, u32)> = g.edges().collect();

@@ -31,7 +31,10 @@ pub fn c_sweep(scale: Scale, seed: u64, cs: &[f64]) -> Vec<AblationRow> {
     let (series, _world) = snapshot_study(scale, seed);
     cs.iter()
         .map(|&c| {
-            let cfg = PipelineConfig { c, ..Default::default() };
+            let cfg = PipelineConfig {
+                c,
+                ..Default::default()
+            };
             let report = run_pipeline(&series, &cfg).expect("pipeline");
             let selected = report.num_selected();
             AblationRow {
@@ -54,10 +57,20 @@ pub fn estimator_variants(scale: Scale, seed: u64) -> Vec<AblationRow> {
     let indegree = PopularityMetric::InDegree;
 
     let c = scale.calibrated_c();
-    let paper = PaperEstimator { c, flat_tolerance: 0.0 };
-    let derivative = DerivativeOnly { c, flat_tolerance: 0.0 };
+    let paper = PaperEstimator {
+        c,
+        flat_tolerance: 0.0,
+    };
+    let derivative = DerivativeOnly {
+        c,
+        flat_tolerance: 0.0,
+    };
     let current = CurrentPopularity;
-    let adaptive = AdaptiveWindow { c, threshold: 1.0, flat_tolerance: 0.0 };
+    let adaptive = AdaptiveWindow {
+        c,
+        threshold: 1.0,
+        flat_tolerance: 0.0,
+    };
     // the logistic fit needs an upper bound on popularity in metric
     // units; take a margin above the largest score in the first snapshot
     let q_max = {
@@ -108,7 +121,10 @@ pub fn interval_sweep(scale: Scale, seed: u64, intervals: &[f64]) -> Vec<Ablatio
                 times: vec![start, start + iv, start + 2.0 * iv, future],
             };
             let (series, _world) = snapshot_study_with(cfg, &schedule);
-            let pcfg = PipelineConfig { c: scale.calibrated_c(), ..Default::default() };
+            let pcfg = PipelineConfig {
+                c: scale.calibrated_c(),
+                ..Default::default()
+            };
             let report = run_pipeline(&series, &pcfg).expect("pipeline");
             let selected = report.num_selected();
             AblationRow {
@@ -127,10 +143,16 @@ pub fn forgetting_sweep(scale: Scale, seed: u64, rates: &[f64]) -> Vec<AblationR
     rates
         .iter()
         .map(|&rate| {
-            let cfg = SimConfig { forget_rate: rate, ..scale.sim_config(seed) };
+            let cfg = SimConfig {
+                forget_rate: rate,
+                ..scale.sim_config(seed)
+            };
             let schedule = SnapshotSchedule::paper_timeline(scale.burn_in());
             let (series, _world) = snapshot_study_with(cfg, &schedule);
-            let pcfg = PipelineConfig { c: scale.calibrated_c(), ..Default::default() };
+            let pcfg = PipelineConfig {
+                c: scale.calibrated_c(),
+                ..Default::default()
+            };
             let report = run_pipeline(&series, &pcfg).expect("pipeline");
             let selected = report.num_selected();
             AblationRow {
@@ -152,9 +174,12 @@ pub fn noise_sweep(scale: Scale, seed: u64, alphas: &[f64]) -> Vec<AblationRow> 
     let cfg = scale.sim_config(seed);
     let mut world = World::bootstrap(cfg).expect("bootstrap");
     let schedule = SnapshotSchedule::paper_timeline(scale.burn_in());
-    let crawler = Crawler { max_pages_per_site: 400 };
-    let series: SnapshotSeries =
-        crawler.crawl_schedule(&mut world, &schedule).expect("crawl");
+    let crawler = Crawler {
+        max_pages_per_site: 400,
+    };
+    let series: SnapshotSeries = crawler
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl");
 
     alphas
         .iter()
@@ -165,13 +190,26 @@ pub fn noise_sweep(scale: Scale, seed: u64, alphas: &[f64]) -> Vec<AblationRow> 
                 qrank_core::trajectory::compute_trajectories(&aligned, &metric).expect("traj");
             let k = traj.num_snapshots();
             let past = traj.truncated(k - 1);
-            let smoothed = if alpha < 1.0 { ewma_smooth(&past, alpha) } else { past.clone() };
-            let estimator = PaperEstimator { c: scale.calibrated_c(), flat_tolerance: 0.0 };
+            let smoothed = if alpha < 1.0 {
+                ewma_smooth(&past, alpha)
+            } else {
+                past.clone()
+            };
+            let estimator = PaperEstimator {
+                c: scale.calibrated_c(),
+                flat_tolerance: 0.0,
+            };
             let est = estimator.estimate(&smoothed).expect("estimate");
-            let current: Vec<f64> =
-                past.values.iter().map(|v| *v.last().expect("non-empty")).collect();
-            let future: Vec<f64> =
-                traj.values.iter().map(|v| *v.last().expect("non-empty")).collect();
+            let current: Vec<f64> = past
+                .values
+                .iter()
+                .map(|v| *v.last().expect("non-empty"))
+                .collect();
+            let future: Vec<f64> = traj
+                .values
+                .iter()
+                .map(|v| *v.last().expect("non-empty"))
+                .collect();
             let change = past.relative_change();
             let sel: Vec<bool> = change.iter().map(|&c| c > 0.05).collect();
             let pick = |vals: &[f64]| -> Vec<f64> {
@@ -191,7 +229,6 @@ pub fn noise_sweep(scale: Scale, seed: u64, alphas: &[f64]) -> Vec<AblationRow> 
         })
         .collect()
 }
-
 
 /// ABL-FIT: whole-curve logistic fitting vs the paper's two-point
 /// formula, as a function of the snapshot budget. With the paper's three
@@ -223,7 +260,10 @@ pub fn fit_budget_sweep(scale: Scale, seed: u64, counts: &[usize]) -> Vec<Ablati
             flat_tolerance: 1e-3,
             max_boost: 4.0,
         };
-        let paper = PaperEstimator { c: scale.calibrated_c(), flat_tolerance: 0.0 };
+        let paper = PaperEstimator {
+            c: scale.calibrated_c(),
+            flat_tolerance: 0.0,
+        };
         let metric = PopularityMetric::paper_pagerank();
 
         let fit_report = run_pipeline_with(&series, &metric, &logistic, 0.05).expect("pipeline");
@@ -238,7 +278,6 @@ pub fn fit_budget_sweep(scale: Scale, seed: u64, counts: &[usize]) -> Vec<Ablati
     }
     rows
 }
-
 
 /// ABL-VISIT: discovery regimes. The paper's introduction argues that
 /// search-engine-mediated discovery ("rich get richer") is what buries
@@ -265,16 +304,28 @@ pub fn visit_model_sweep_with(
     use qrank_core::correlation::spearman;
     use qrank_sim::VisitModel;
     let models = [
-        ("by-popularity (the paper's model)", VisitModel::ByPopularity),
+        (
+            "by-popularity (the paper's model)",
+            VisitModel::ByPopularity,
+        ),
         ("by-pagerank", VisitModel::ByPageRank),
-        ("search exposure, bias 1.0", VisitModel::BySearchRank { bias: 1.0 }),
+        (
+            "search exposure, bias 1.0",
+            VisitModel::BySearchRank { bias: 1.0 },
+        ),
     ];
     models
         .into_iter()
         .map(|(label, vm)| {
-            let cfg = SimConfig { visit_model: vm, ..base };
+            let cfg = SimConfig {
+                visit_model: vm,
+                ..base
+            };
             let (series, world) = snapshot_study_with(cfg, schedule);
-            let pcfg = PipelineConfig { c, ..Default::default() };
+            let pcfg = PipelineConfig {
+                c,
+                ..Default::default()
+            };
             let report = run_pipeline(&series, &pcfg).expect("pipeline");
             let selected = report.num_selected();
             // ground-truth rank quality of the two rankings
@@ -310,7 +361,9 @@ mod tests {
         // C = 0 reduces the estimator to the baseline
         assert!((rows[0].summary.mean_error - rows[0].baseline.mean_error).abs() < 1e-9);
         // some C must beat the baseline
-        assert!(rows.iter().any(|r| r.summary.mean_error < r.baseline.mean_error));
+        assert!(rows
+            .iter()
+            .any(|r| r.summary.mean_error < r.baseline.mean_error));
     }
 
     #[test]
@@ -318,7 +371,10 @@ mod tests {
         let rows = estimator_variants(Scale::Small, 7);
         assert_eq!(rows.len(), 6);
         // the baseline-as-variant row must equal its own baseline
-        let current = rows.iter().find(|r| r.label.starts_with("current")).unwrap();
+        let current = rows
+            .iter()
+            .find(|r| r.label.starts_with("current"))
+            .unwrap();
         assert!((current.summary.mean_error - current.baseline.mean_error).abs() < 1e-9);
     }
 

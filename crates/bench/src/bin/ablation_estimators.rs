@@ -35,7 +35,13 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["estimator / metric", "pages", "mean err", "err<0.1", "err>1"],
+            &[
+                "estimator / metric",
+                "pages",
+                "mean err",
+                "err<0.1",
+                "err>1"
+            ],
             &rows
         )
     );

@@ -37,7 +37,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["discovery model", "pages", "err Q(p)", "err PR(t3)", "rho(Q,truth)", "rho(PR,truth)"],
+            &[
+                "discovery model",
+                "pages",
+                "err Q(p)",
+                "err PR(t3)",
+                "rho(Q,truth)",
+                "rho(PR,truth)"
+            ],
             &rows
         )
     );

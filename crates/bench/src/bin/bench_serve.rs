@@ -1,0 +1,169 @@
+//! BENCH-SERVE — throughput and latency of the quality-score service
+//! under concurrent refresh.
+//!
+//! Builds a preferential-attachment web of `pages` pages, seeds the
+//! refresh engine with three growing snapshots (generation 1), then
+//! drives the TCP front end with the closed-loop load generator *while*
+//! the refresh worker ingests the fourth snapshot's edge delta and
+//! publishes generation 2. Results land in `BENCH_serve.json`.
+//!
+//! Acceptance target: >= 10k req/s against a 100k-page store.
+//!
+//! Usage: `bench_serve [small|full] [seed]` (full = 100k pages).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
+use qrank_serve::json::Obj;
+use qrank_serve::{
+    run_load, serve, spawn_refresh_worker, EdgeDelta, LoadConfig, RefreshConfig, RefreshEngine,
+    RefreshMsg, ServerConfig, StoreHandle,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Edges in creation order: each page links out `m` times, mostly to
+/// already-popular targets (endpoint-pool preferential attachment).
+fn growing_web(pages: usize, m: usize, rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity(pages * m);
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * pages * m);
+    for src in 1..pages as u32 {
+        for _ in 0..m.min(src as usize) {
+            let dst = if pool.is_empty() || rng.random_bool(0.25) {
+                rng.random_range(0..src)
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            };
+            if dst != src {
+                edges.push((src, dst));
+                pool.push(dst);
+                pool.push(src);
+            }
+        }
+    }
+    edges
+}
+
+fn main() {
+    let mut pages = 100_000usize;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => pages = 5_000,
+            "full" => pages = 100_000,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = growing_web(pages, 4, &mut rng);
+    let page_ids: Vec<PageId> = (0..pages as u64).map(PageId).collect();
+    println!(
+        "BENCH-SERVE: {pages} pages, {} edges, seed {seed}",
+        edges.len()
+    );
+
+    // three seed snapshots at 70/80/90% of the edges; the last 10% is
+    // the live delta ingested while the load test runs
+    let mut series = SnapshotSeries::new();
+    for (i, frac) in [0.7, 0.8, 0.9].iter().enumerate() {
+        let cut = (edges.len() as f64 * frac) as usize;
+        series
+            .push(
+                Snapshot::new(
+                    i as f64,
+                    CsrGraph::from_edges(pages, &edges[..cut]),
+                    page_ids.clone(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let delta_from = (edges.len() as f64 * 0.9) as usize;
+
+    let handle = Arc::new(StoreHandle::new());
+    let seed_started = Instant::now();
+    let engine =
+        RefreshEngine::from_series(&series, RefreshConfig::default(), Arc::clone(&handle)).unwrap();
+    let seed_seconds = seed_started.elapsed().as_secs_f64();
+    println!(
+        "  seeded generation 1 ({} served pages) in {seed_seconds:.2}s",
+        handle.current().len()
+    );
+
+    let server = serve(
+        Arc::clone(&handle),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 64,
+        },
+    )
+    .unwrap();
+    let (refresh_tx, refresh_join) = spawn_refresh_worker(engine);
+
+    // refresh and load run concurrently
+    refresh_tx
+        .send(RefreshMsg::Delta(EdgeDelta {
+            time: 3.0,
+            added: edges[delta_from..]
+                .iter()
+                .map(|&(s, d)| (s as u64, d as u64))
+                .collect(),
+            ..Default::default()
+        }))
+        .unwrap();
+    let load_cfg = LoadConfig {
+        addr: server.addr().to_string(),
+        connections: 2,
+        requests_per_connection: 20_000,
+        pipeline: 16,
+        topk_every: 10,
+        topk_k: 10,
+        max_page: pages as u64,
+        seed,
+    };
+    let report = run_load(&load_cfg).unwrap();
+
+    refresh_tx.send(RefreshMsg::Shutdown).unwrap();
+    let (engine, refresh_errors) = refresh_join.join().unwrap();
+    let final_generation = handle.current().generation();
+    let metrics = server.metrics().snapshot();
+    server.shutdown();
+
+    let meets_target = report.throughput_rps >= 10_000.0;
+    println!(
+        "  load: {} requests, {:.0} req/s, p50 {:.1}us, p99 {:.1}us ({} errors)",
+        report.requests, report.throughput_rps, report.p50_us, report.p99_us, report.errors
+    );
+    println!(
+        "  refresh: final generation {final_generation} (refresh errors: {})",
+        refresh_errors.len()
+    );
+    println!(
+        "  server side: {} requests, cache hit rate {:.2}",
+        metrics.requests,
+        metrics.cache_hit_rate()
+    );
+    println!(
+        "  target >= 10000 req/s: {}",
+        if meets_target { "MET" } else { "MISSED" }
+    );
+
+    let json = Obj::new()
+        .int("pages", pages as u64)
+        .int("edges", edges.len() as u64)
+        .int("seed", seed)
+        .num("seed_pipeline_seconds", seed_seconds)
+        .raw("load", &report.to_json())
+        .int("server_requests", metrics.requests)
+        .num("server_p50_us", metrics.p50_us)
+        .num("server_p99_us", metrics.p99_us)
+        .num("cache_hit_rate", metrics.cache_hit_rate())
+        .int("final_generation", final_generation)
+        .int("refresh_errors", refresh_errors.len() as u64)
+        .int("refresh_window", engine.series().len() as u64)
+        .bool("meets_10k_rps", meets_target)
+        .finish();
+    std::fs::write("BENCH_serve.json", format!("{json}\n")).unwrap();
+    println!("  wrote BENCH_serve.json");
+}

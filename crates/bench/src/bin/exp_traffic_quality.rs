@@ -20,18 +20,34 @@ fn main() {
             s => seed = s.parse().expect("bad seed"),
         }
     }
-    println!("Experiment: quality estimation from traffic (popularity) data ({scale:?}, seed {seed})");
+    println!(
+        "Experiment: quality estimation from traffic (popularity) data ({scale:?}, seed {seed})"
+    );
     println!("5 popularity samples over a 3-month window, estimates vs ground-truth quality\n");
     let r = traffic_experiment(scale, seed, 5, 3.0);
     let rows = vec![
-        vec!["theorem-2 two-point (exact n/r)".to_string(), table::f(r.mae_paper), table::f(r.rho_paper)],
-        vec!["logistic whole-curve fit".to_string(), table::f(r.mae_logistic), table::f(r.rho_logistic)],
-        vec!["current popularity baseline".to_string(), table::f(r.mae_current), table::f(r.rho_current)],
+        vec![
+            "theorem-2 two-point (exact n/r)".to_string(),
+            table::f(r.mae_paper),
+            table::f(r.rho_paper),
+        ],
+        vec![
+            "logistic whole-curve fit".to_string(),
+            table::f(r.mae_logistic),
+            table::f(r.rho_logistic),
+        ],
+        vec![
+            "current popularity baseline".to_string(),
+            table::f(r.mae_current),
+            table::f(r.rho_current),
+        ],
     ];
     println!("pages evaluated: {}\n", r.pages);
     println!(
         "{}",
         table::render(&["estimator", "MAE vs true Q", "spearman vs true Q"], &rows)
     );
-    println!("(the paper could not run this comparison: true quality is unobservable on the real web)");
+    println!(
+        "(the paper could not run this comparison: true quality is unobservable on the real web)"
+    );
 }

@@ -33,12 +33,18 @@ fn main() {
     }
     println!("Trend census over the estimation window ({scale:?}, seed {seed}, forget rate {forget_rate})\n");
 
-    let cfg = SimConfig { forget_rate, ..scale.sim_config(seed) };
+    let cfg = SimConfig {
+        forget_rate,
+        ..scale.sim_config(seed)
+    };
     let schedule = SnapshotSchedule::paper_timeline(scale.burn_in());
     let (series, _world) = snapshot_study_with(cfg, &schedule);
     let report = run_pipeline(
         &series,
-        &PipelineConfig { c: scale.calibrated_c(), ..Default::default() },
+        &PipelineConfig {
+            c: scale.calibrated_c(),
+            ..Default::default()
+        },
     )
     .expect("pipeline");
 

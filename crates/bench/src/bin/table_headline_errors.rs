@@ -20,7 +20,9 @@ fn main() {
             s => num_seeds = s.parse().expect("bad seed count"),
         }
     }
-    println!("Headline table: mean relative error vs future PageRank ({scale:?}, {num_seeds} seeds)\n");
+    println!(
+        "Headline table: mean relative error vs future PageRank ({scale:?}, {num_seeds} seeds)\n"
+    );
 
     let mut rows = Vec::new();
     let mut sum_q = 0.0;
@@ -43,11 +45,17 @@ fn main() {
         "-".into(),
         table::f(sum_q / num_seeds as f64),
         table::f(sum_pr / num_seeds as f64),
-        format!("x{:.2}", (sum_pr / num_seeds as f64) / (sum_q / num_seeds as f64)),
+        format!(
+            "x{:.2}",
+            (sum_pr / num_seeds as f64) / (sum_q / num_seeds as f64)
+        ),
     ]);
     println!(
         "{}",
-        table::render(&["seed", "pages", "err Q(p)", "err PR(p,t3)", "improvement"], &rows)
+        table::render(
+            &["seed", "pages", "err Q(p)", "err PR(p,t3)", "improvement"],
+            &rows
+        )
     );
 
     // bootstrap 95% confidence intervals on the first seed's run

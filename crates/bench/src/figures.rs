@@ -52,7 +52,10 @@ pub struct Fig5Output {
 /// Run the paper's Section 8 experiment end to end on the simulator.
 pub fn fig5(scale: Scale, seed: u64) -> Fig5Output {
     let (series, world) = snapshot_study(scale, seed);
-    let cfg = PipelineConfig { c: scale.calibrated_c(), ..Default::default() };
+    let cfg = PipelineConfig {
+        c: scale.calibrated_c(),
+        ..Default::default()
+    };
     let report = run_pipeline(&series, &cfg).expect("pipeline");
     ground_truth_diagnostics(report, &world)
 }
@@ -78,7 +81,10 @@ pub fn ground_truth_diagnostics(report: PipelineReport, world: &World) -> Fig5Ou
     let (pe, pc) = if truth.is_empty() {
         (0.0, 0.0)
     } else {
-        (precision_at_k(&est, &truth, k), precision_at_k(&cur, &truth, k))
+        (
+            precision_at_k(&est, &truth, k),
+            precision_at_k(&cur, &truth, k),
+        )
     };
     Fig5Output {
         spearman_estimate_truth: spearman(&est, &truth),

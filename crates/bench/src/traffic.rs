@@ -83,9 +83,12 @@ pub fn traffic_experiment(scale: Scale, seed: u64, samples: usize, window: f64) 
         .iter()
         .map(|v| theorem2_estimate(v[0], *v.last().expect("non-empty"), window, cfg.visit_ratio))
         .collect();
-    let est_current = PaperEstimator { c: 0.0, flat_tolerance: 0.0 }
-        .estimate(&traj)
-        .expect("current");
+    let est_current = PaperEstimator {
+        c: 0.0,
+        flat_tolerance: 0.0,
+    }
+    .estimate(&traj)
+    .expect("current");
 
     let mae = |est: &[f64]| -> f64 {
         est.iter()

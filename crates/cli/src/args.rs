@@ -55,16 +55,25 @@ pub fn parse(args: &[String], allowed: &[&str], usage: &str) -> Result<Parsed, C
             continue;
         }
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(CliError::usage(format!("unexpected argument `{arg}`"), usage));
+            return Err(CliError::usage(
+                format!("unexpected argument `{arg}`"),
+                usage,
+            ));
         };
         if !allowed.contains(&key) {
             return Err(CliError::usage(format!("unknown option `--{key}`"), usage));
         }
         let Some(value) = it.next() else {
-            return Err(CliError::usage(format!("option `--{key}` needs a value"), usage));
+            return Err(CliError::usage(
+                format!("option `--{key}` needs a value"),
+                usage,
+            ));
         };
         if opts.insert(key.to_string(), value.clone()).is_some() {
-            return Err(CliError::usage(format!("option `--{key}` given twice"), usage));
+            return Err(CliError::usage(
+                format!("option `--{key}` given twice"),
+                usage,
+            ));
         }
     }
     Ok(Parsed { opts, help })
@@ -122,8 +131,12 @@ mod tests {
 
     #[test]
     fn parses_key_value_pairs() {
-        let p = parse(&argv(&["--nodes", "100", "--out", "x.edges"]), &["nodes", "out"], "u")
-            .unwrap();
+        let p = parse(
+            &argv(&["--nodes", "100", "--out", "x.edges"]),
+            &["nodes", "out"],
+            "u",
+        )
+        .unwrap();
         assert_eq!(p.get("nodes"), Some("100"));
         assert_eq!(p.get_or("nodes", 0usize, "u").unwrap(), 100);
         assert_eq!(p.get_or("missing", 7usize, "u").unwrap(), 7);
@@ -138,9 +151,18 @@ mod tests {
 
     #[test]
     fn rejects_unknown_and_malformed() {
-        assert!(matches!(parse(&argv(&["--bad", "1"]), &["good"], "u"), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&argv(&["stray"]), &["good"], "u"), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&argv(&["--good"]), &["good"], "u"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&argv(&["--bad", "1"]), &["good"], "u"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv(&["stray"]), &["good"], "u"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&argv(&["--good"]), &["good"], "u"),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&argv(&["--good", "1", "--good", "2"]), &["good"], "u"),
             Err(CliError::Usage(_))
@@ -150,7 +172,10 @@ mod tests {
     #[test]
     fn typed_parse_errors_are_usage_errors() {
         let p = parse(&argv(&["--n", "abc"]), &["n"], "u").unwrap();
-        assert!(matches!(p.get_or("n", 0usize, "u"), Err(CliError::Usage(_))));
+        assert!(matches!(
+            p.get_or("n", 0usize, "u"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! `qrank bench-load` — drive load against a running `qrank serve`
+//! instance and report throughput and latency percentiles as JSON.
+
+use qrank_serve::{run_load, LoadConfig};
+
+use crate::args::{parse, write_output, CliError};
+
+const USAGE: &str = "\
+qrank bench-load --addr <host:port> [options]
+
+options:
+  --addr HOST:PORT   server to load (required)
+  --connections N    concurrent connections (default 4)
+  --requests N       requests per connection (default 2500)
+  --pipeline N       requests in flight per connection (default 8)
+  --topk-every N     every Nth request is a topk (default 10; 0 = never)
+  --topk-k K         k used for topk requests (default 10)
+  --max-page N       sample score pages from 0..N (default 1000)
+  --seed S           sampling seed (default 42)
+  --out FILE         write the JSON report to FILE (default stdout)
+
+the report includes total requests, error count, elapsed seconds,
+throughput (req/s), and mean/p50/p99 latency in microseconds.";
+
+/// Entry point.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let allowed = [
+        "addr",
+        "connections",
+        "requests",
+        "pipeline",
+        "topk-every",
+        "topk-k",
+        "max-page",
+        "seed",
+        "out",
+    ];
+    let p = parse(argv, &allowed, USAGE)?;
+    if p.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let cfg = LoadConfig {
+        addr: p.require("addr", USAGE)?.to_string(),
+        connections: p.get_or("connections", 4, USAGE)?,
+        requests_per_connection: p.get_or("requests", 2_500, USAGE)?,
+        pipeline: p.get_or("pipeline", 8, USAGE)?,
+        topk_every: p.get_or("topk-every", 10, USAGE)?,
+        topk_k: p.get_or("topk-k", 10, USAGE)?,
+        max_page: p.get_or("max-page", 1_000, USAGE)?,
+        seed: p.get_or("seed", 42, USAGE)?,
+    };
+    let report = run_load(&cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!(
+        "{} requests over {} connections in {:.2}s: {:.0} req/s (p50 {:.1}us, p99 {:.1}us)",
+        report.requests,
+        report.connections,
+        report.elapsed_seconds,
+        report.throughput_rps,
+        report.p50_us,
+        report.p99_us
+    );
+    write_output(p.get("out"), &format!("{}\n", report.to_json()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use qrank_serve::{serve, ServerConfig, StoreHandle};
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn loads_a_live_server_and_writes_a_report() {
+        let server = serve(
+            Arc::new(StoreHandle::new()),
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                cache_capacity: 4,
+            },
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join("qrank_cli_test_bench_load");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("load.json");
+        run(&argv(&[
+            "--addr",
+            &server.addr().to_string(),
+            "--connections",
+            "2",
+            "--requests",
+            "50",
+            "--pipeline",
+            "4",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""requests":100"#), "{json}");
+        assert!(json.contains("throughput_rps"), "{json}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["--addr", "127.0.0.1:1", "--connections", "none"])),
+            Err(CliError::Usage(_))
+        ));
+        // nothing listens on this port
+        assert!(run(&argv(&["--addr", "127.0.0.1:9", "--requests", "1"])).is_err());
+    }
+}

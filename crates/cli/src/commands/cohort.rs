@@ -28,7 +28,13 @@ census, and overtake times for a 0.9-quality newcomer against incumbents.";
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let allowed = [
-        "pages", "max-age", "visit-ratio", "users", "gem-quality", "gem-popularity", "seed",
+        "pages",
+        "max-age",
+        "visit-ratio",
+        "users",
+        "gem-quality",
+        "gem-popularity",
+        "seed",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -43,7 +49,10 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let gem_p: f64 = p.get_or("gem-popularity", 0.1, USAGE)?;
     let seed: u64 = p.get_or("seed", 42, USAGE)?;
 
-    let env = CohortEnv { visit_ratio, initial_popularity: 1.0 / users };
+    let env = CohortEnv {
+        visit_ratio,
+        initial_popularity: 1.0 / users,
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let cohort: Vec<CohortPage> = (0..pages)
         .map(|_| CohortPage {
@@ -52,14 +61,17 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         })
         .collect();
 
-    let inv = pairwise_inversion_rate(&env, &cohort)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let inv =
+        pairwise_inversion_rate(&env, &cohort).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("cohort: {pages} pages, ages U[0, {max_age}] months, qualities U[0.05, 0.95]");
-    println!("pairwise inversion rate of popularity vs quality: {:.3}", inv);
+    println!(
+        "pairwise inversion rate of popularity vs quality: {:.3}",
+        inv
+    );
     println!("(0 = popularity ranks exactly like quality; 0.5 = random)\n");
 
-    let gems = hidden_gems(&env, &cohort, gem_q, gem_p)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let gems =
+        hidden_gems(&env, &cohort, gem_q, gem_p).map_err(|e| CliError::Runtime(e.to_string()))?;
     let total_gems = cohort.iter().filter(|p| p.quality >= gem_q).count();
     println!(
         "hidden gems (quality >= {gem_q}, popularity < {gem_p}): {} of {} quality pages ({:.1}%)",
@@ -72,7 +84,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             "  example: quality {:.2}, age {:.1} months, popularity {:.4}",
             cohort[g].quality,
             cohort[g].age,
-            env.popularity_of(cohort[g]).map_err(|e| CliError::Runtime(e.to_string()))?
+            env.popularity_of(cohort[g])
+                .map_err(|e| CliError::Runtime(e.to_string()))?
         );
     }
 
@@ -103,7 +116,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_numbers() {
-        assert!(matches!(run(&argv(&["--pages", "lots"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["--pages", "lots"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -34,8 +34,17 @@ the LAST snapshot is held out as the future reference, as in the paper.";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
-    let allowed =
-        ["series", "graphs", "times", "c", "estimator", "metric", "min-change", "out", "top"];
+    let allowed = [
+        "series",
+        "graphs",
+        "times",
+        "c",
+        "estimator",
+        "metric",
+        "min-change",
+        "out",
+        "top",
+    ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
         println!("{USAGE}");
@@ -50,16 +59,31 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     };
     let c: f64 = p.get_or("c", 0.1, USAGE)?;
     let min_change: f64 = p.get_or("min-change", 0.05, USAGE)?;
-    let paper = PaperEstimator { c, flat_tolerance: 0.0 };
-    let adaptive = AdaptiveWindow { c, threshold: 1.0, flat_tolerance: 0.0 };
-    let derivative = DerivativeOnly { c, flat_tolerance: 0.0 };
+    let paper = PaperEstimator {
+        c,
+        flat_tolerance: 0.0,
+    };
+    let adaptive = AdaptiveWindow {
+        c,
+        threshold: 1.0,
+        flat_tolerance: 0.0,
+    };
+    let derivative = DerivativeOnly {
+        c,
+        flat_tolerance: 0.0,
+    };
     let current = CurrentPopularity;
     let estimator: &dyn QualityEstimator = match p.get("estimator").unwrap_or("paper") {
         "paper" => &paper,
         "adaptive" => &adaptive,
         "derivative" => &derivative,
         "current" => &current,
-        other => return Err(CliError::usage(format!("unknown estimator `{other}`"), USAGE)),
+        other => {
+            return Err(CliError::usage(
+                format!("unknown estimator `{other}`"),
+                USAGE,
+            ))
+        }
     };
     let report = run_pipeline_with(&series, &metric, estimator, min_change)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -113,10 +137,11 @@ fn load_series(p: &crate::args::Parsed) -> Result<SnapshotSeries, CliError> {
         (None, Some(list)) => {
             let files: Vec<&str> = list.split(',').collect();
             let times_raw = p.require("times", USAGE)?;
-            let times: Result<Vec<f64>, _> =
-                times_raw.split(',').map(|t| t.trim().parse::<f64>()).collect();
-            let times =
-                times.map_err(|e| CliError::usage(format!("bad --times: {e}"), USAGE))?;
+            let times: Result<Vec<f64>, _> = times_raw
+                .split(',')
+                .map(|t| t.trim().parse::<f64>())
+                .collect();
+            let times = times.map_err(|e| CliError::usage(format!("bad --times: {e}"), USAGE))?;
             if times.len() != files.len() {
                 return Err(CliError::usage(
                     format!("{} graphs but {} times", files.len(), times.len()),
@@ -129,15 +154,18 @@ fn load_series(p: &crate::args::Parsed) -> Result<SnapshotSeries, CliError> {
                 let g = read_edge_list(text.as_bytes())
                     .map_err(|e| CliError::Runtime(format!("{file}: {e}")))?;
                 let pages: Vec<PageId> = (0..g.num_nodes() as u64).map(PageId).collect();
-                let snap = Snapshot::new(t, g, pages)
+                let snap =
+                    Snapshot::new(t, g, pages).map_err(|e| CliError::Runtime(e.to_string()))?;
+                series
+                    .push(snap)
                     .map_err(|e| CliError::Runtime(e.to_string()))?;
-                series.push(snap).map_err(|e| CliError::Runtime(e.to_string()))?;
             }
             Ok(series)
         }
-        (Some(_), Some(_)) => {
-            Err(CliError::usage("give either --series or --graphs, not both", USAGE))
-        }
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "give either --series or --graphs, not both",
+            USAGE,
+        )),
         (None, None) => Err(CliError::usage("need --series or --graphs", USAGE)),
     }
 }
@@ -220,7 +248,13 @@ mod tests {
             "3",
         ]))
         .unwrap();
-        run(&argv(&["--series", series_path.to_str().unwrap(), "--c", "1.0"])).unwrap();
+        run(&argv(&[
+            "--series",
+            series_path.to_str().unwrap(),
+            "--c",
+            "1.0",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -232,11 +266,25 @@ mod tests {
             .collect::<Vec<_>>()
             .join(",");
         for est in ["paper", "adaptive", "derivative", "current"] {
-            run(&argv(&["--graphs", &list, "--times", "0,1,2,6", "--estimator", est]))
-                .unwrap_or_else(|e| panic!("{est}: {e}"));
+            run(&argv(&[
+                "--graphs",
+                &list,
+                "--times",
+                "0,1,2,6",
+                "--estimator",
+                est,
+            ]))
+            .unwrap_or_else(|e| panic!("{est}: {e}"));
         }
         assert!(matches!(
-            run(&argv(&["--graphs", &list, "--times", "0,1,2,6", "--estimator", "magic"])),
+            run(&argv(&[
+                "--graphs",
+                &list,
+                "--times",
+                "0,1,2,6",
+                "--estimator",
+                "magic"
+            ])),
             Err(CliError::Usage(_))
         ));
     }

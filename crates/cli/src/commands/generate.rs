@@ -27,7 +27,15 @@ options:
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let allowed = [
-        "model", "nodes", "edges", "m", "out-degree", "copy-prob", "sites", "seed", "out",
+        "model",
+        "nodes",
+        "edges",
+        "m",
+        "out-degree",
+        "copy-prob",
+        "sites",
+        "seed",
+        "out",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -55,7 +63,10 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         }
         "sites" => {
             let sites: usize = p.get_or("sites", 154, USAGE)?;
-            let params = SiteWebParams { num_sites: sites, ..Default::default() };
+            let params = SiteWebParams {
+                num_sites: sites,
+                ..Default::default()
+            };
             site_structured(&params, &mut rng).graph
         }
         other => return Err(CliError::usage(format!("unknown model `{other}`"), USAGE)),
@@ -86,7 +97,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("ba.edges");
         run(&argv(&[
-            "--model", "ba", "--nodes", "100", "--m", "2", "--out",
+            "--model",
+            "ba",
+            "--nodes",
+            "100",
+            "--m",
+            "2",
+            "--out",
             out.to_str().unwrap(),
         ]))
         .unwrap();
@@ -106,7 +123,10 @@ mod tests {
 
     #[test]
     fn requires_model() {
-        assert!(matches!(run(&argv(&["--out", "-"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["--out", "-"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Subcommand implementations.
 
+pub mod bench_load;
 pub mod cohort;
 pub mod estimate;
 pub mod generate;
 pub mod model;
 pub mod pagerank;
+pub mod serve;
 pub mod simulate;
 pub mod stats;

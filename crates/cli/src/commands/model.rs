@@ -24,7 +24,15 @@ give either --figure or --quality.";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
-    let allowed = ["figure", "quality", "p0", "visit-ratio", "t-max", "steps", "out"];
+    let allowed = [
+        "figure",
+        "quality",
+        "p0",
+        "visit-ratio",
+        "t-max",
+        "steps",
+        "out",
+    ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
         println!("{USAGE}");
@@ -106,10 +114,21 @@ mod tests {
     fn figure_curves() {
         for fig in ["1", "2", "3"] {
             let out = temp_file(&format!("fig{fig}.tsv"));
-            run(&argv(&["--figure", fig, "--steps", "10", "--out", out.to_str().unwrap()]))
-                .unwrap();
+            run(&argv(&[
+                "--figure",
+                fig,
+                "--steps",
+                "10",
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
             let text = std::fs::read_to_string(&out).unwrap();
-            assert_eq!(text.lines().count(), 12, "header + 11 samples for fig {fig}");
+            assert_eq!(
+                text.lines().count(),
+                12,
+                "header + 11 samples for fig {fig}"
+            );
         }
     }
 
@@ -117,7 +136,13 @@ mod tests {
     fn custom_curve_saturates_at_quality() {
         let out = temp_file("custom.tsv");
         run(&argv(&[
-            "--quality", "0.6", "--p0", "0.001", "--steps", "50", "--out",
+            "--quality",
+            "0.6",
+            "--p0",
+            "0.001",
+            "--steps",
+            "50",
+            "--out",
             out.to_str().unwrap(),
         ]))
         .unwrap();
@@ -130,7 +155,13 @@ mod tests {
     #[test]
     fn validation() {
         assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&argv(&["--figure", "9"])), Err(CliError::Usage(_))));
-        assert!(matches!(run(&argv(&["--quality", "2.0"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["--figure", "9"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv(&["--quality", "2.0"])),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -23,7 +23,9 @@ options:
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
-    let allowed = ["graph", "solver", "damping", "scale", "threads", "top", "out"];
+    let allowed = [
+        "graph", "solver", "damping", "scale", "threads", "top", "out",
+    ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
         println!("{USAGE}");
@@ -39,7 +41,10 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "per-page" => ScoreScale::PerPage,
         other => return Err(CliError::usage(format!("unknown scale `{other}`"), USAGE)),
     };
-    let cfg = PageRankConfig { scale, ..PageRankConfig::paper_style(damping) };
+    let cfg = PageRankConfig {
+        scale,
+        ..PageRankConfig::paper_style(damping)
+    };
 
     let solver = p.get("solver").unwrap_or("power");
     let scores = match solver {
@@ -51,12 +56,25 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         }
         "hits" => hits(&g, 1e-10, 200).authorities,
         "indegree" => indegree_scores(&g),
-        "opic" => opic(&g, 1.0 - damping, g.num_nodes() * 50, OpicPolicy::RoundRobin).scores,
+        "opic" => {
+            opic(
+                &g,
+                1.0 - damping,
+                g.num_nodes() * 50,
+                OpicPolicy::RoundRobin,
+            )
+            .scores
+        }
         other => return Err(CliError::usage(format!("unknown solver `{other}`"), USAGE)),
     };
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("no NaN")
+            .then(a.cmp(&b))
+    });
     let top: usize = p.get_or("top", scores.len(), USAGE)?;
     let mut out = String::new();
     for &node in order.iter().take(top) {
@@ -87,7 +105,14 @@ mod tests {
     fn scores_all_solvers() {
         let path = write_sample_graph();
         let dir = path.parent().unwrap();
-        for solver in ["power", "gauss-seidel", "parallel", "hits", "indegree", "opic"] {
+        for solver in [
+            "power",
+            "gauss-seidel",
+            "parallel",
+            "hits",
+            "indegree",
+            "opic",
+        ] {
             let out = dir.join(format!("{solver}.tsv"));
             run(&argv(&[
                 "--graph",
@@ -131,7 +156,12 @@ mod tests {
     fn bad_solver_is_usage_error() {
         let path = write_sample_graph();
         assert!(matches!(
-            run(&argv(&["--graph", path.to_str().unwrap(), "--solver", "magic"])),
+            run(&argv(&[
+                "--graph",
+                path.to_str().unwrap(),
+                "--solver",
+                "magic"
+            ])),
             Err(CliError::Usage(_))
         ));
     }

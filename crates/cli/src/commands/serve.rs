@@ -1,0 +1,236 @@
+//! `qrank serve` — run the quality-score service.
+//!
+//! Loads a snapshot series (from `qrank simulate`), seeds the refresh
+//! engine, and serves the line-delimited JSON protocol over TCP. An
+//! optional delta file is streamed through the refresh worker so the
+//! served generations advance while the server runs.
+
+use std::sync::Arc;
+
+use qrank_graph::io::decode_series;
+use qrank_serve::{
+    parse_deltas, serve, spawn_refresh_worker, RefreshConfig, RefreshEngine, RefreshMsg,
+    ServerConfig, StoreHandle,
+};
+
+use crate::args::{parse, CliError};
+
+const USAGE: &str = "\
+qrank serve --series <file> [options]
+
+options:
+  --series FILE      binary snapshot series from `qrank simulate` (required)
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N        request worker threads (default 4)
+  --cache N          topk response cache capacity (default 64)
+  --deltas FILE      edge-delta file to stream through the refresh worker
+  --max-window N     snapshots kept in the estimation window (default 4)
+  --c C              Equation 1 constant (default 0.1)
+  --min-change X     report filter on relative change (default 0.05)
+  --duration SECS    serve for SECS seconds then exit (default 0 = forever)
+  --port-file FILE   write the bound address to FILE once listening
+
+protocol (line-delimited JSON over TCP):
+  score <page> | topk <n> | stats | health";
+
+/// Entry point.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let allowed = [
+        "series",
+        "addr",
+        "workers",
+        "cache",
+        "deltas",
+        "max-window",
+        "c",
+        "min-change",
+        "duration",
+        "port-file",
+    ];
+    let p = parse(argv, &allowed, USAGE)?;
+    if p.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let series_path = p.require("series", USAGE)?;
+    let refresh_cfg = RefreshConfig {
+        c: p.get_or("c", 0.1, USAGE)?,
+        min_relative_change: p.get_or("min-change", 0.05, USAGE)?,
+        max_window: p.get_or("max-window", 4, USAGE)?,
+        ..Default::default()
+    };
+    let server_cfg = ServerConfig {
+        addr: p.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: p.get_or("workers", 4, USAGE)?,
+        cache_capacity: p.get_or("cache", 64, USAGE)?,
+    };
+    let duration: f64 = p.get_or("duration", 0.0, USAGE)?;
+
+    let bytes = std::fs::read(series_path)?;
+    let series = decode_series(&bytes).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let deltas = match p.get("deltas") {
+        Some(path) => parse_deltas(&std::fs::read_to_string(path)?)
+            .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?,
+        None => Vec::new(),
+    };
+
+    let handle = Arc::new(StoreHandle::new());
+    let engine = RefreshEngine::from_series(&series, refresh_cfg, Arc::clone(&handle))
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let store = handle.current();
+    let server = serve(handle, &server_cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    eprintln!(
+        "serving {} pages (generation {}, window of {} snapshots) on {}",
+        store.len(),
+        store.generation(),
+        series.len(),
+        server.addr()
+    );
+    if let Some(path) = p.get("port-file") {
+        std::fs::write(path, server.addr().to_string())?;
+    }
+
+    let (refresh_tx, refresh_join) = spawn_refresh_worker(engine);
+    let num_deltas = deltas.len();
+    for delta in deltas {
+        refresh_tx
+            .send(RefreshMsg::Delta(delta))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+    }
+    if num_deltas > 0 {
+        eprintln!("queued {num_deltas} deltas for the refresh worker");
+    }
+
+    if duration > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration));
+    } else {
+        loop {
+            std::thread::park();
+        }
+    }
+
+    refresh_tx
+        .send(RefreshMsg::Shutdown)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let (engine, errors) = refresh_join
+        .join()
+        .map_err(|_| CliError::Runtime("refresh worker panicked".into()))?;
+    for err in &errors {
+        eprintln!("refresh error: {err}");
+    }
+    let metrics = server.metrics().snapshot();
+    server.shutdown();
+    eprintln!(
+        "served {} requests ({} errors), final generation {}",
+        metrics.requests,
+        metrics.errors,
+        engine.generation()
+    );
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} refresh deltas failed",
+            errors.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qrank_cli_test_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_series(path: &std::path::Path) {
+        crate::commands::simulate::run(&argv(&[
+            "--out",
+            path.to_str().unwrap(),
+            "--users",
+            "120",
+            "--sites",
+            "3",
+            "--birth-rate",
+            "5",
+            "--burn-in",
+            "2",
+            "--future",
+            "3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serves_a_simulated_series_end_to_end() {
+        let dir = temp_dir();
+        let series_path = dir.join("serve.bin");
+        let port_file = dir.join("serve.port");
+        let _ = std::fs::remove_file(&port_file);
+        write_series(&series_path);
+
+        let series_arg = series_path.to_str().unwrap().to_string();
+        let port_arg = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run(&argv(&[
+                "--series",
+                &series_arg,
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--duration",
+                "3",
+                "--port-file",
+                &port_arg,
+            ]))
+        });
+
+        // wait for the port file, then talk to the server
+        let mut addr = String::new();
+        for _ in 0..300 {
+            if let Ok(contents) = std::fs::read_to_string(&port_file) {
+                if !contents.is_empty() {
+                    addr = contents;
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(!addr.is_empty(), "server never wrote its port file");
+        let stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"health\ntopk 3\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""status":"serving""#), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        drop(writer);
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv(&["--series", "x", "--workers", "lots"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(run(&argv(&["--series", "/nonexistent/series.bin"])).is_err());
+    }
+}

@@ -30,8 +30,18 @@ the snapshot times are: burn-in + 0, interval, 2*interval, ...,
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let allowed = [
-        "out", "truth", "users", "sites", "visit-ratio", "birth-rate", "forget-rate",
-        "burn-in", "snapshots", "interval", "future", "seed",
+        "out",
+        "truth",
+        "users",
+        "sites",
+        "visit-ratio",
+        "birth-rate",
+        "forget-rate",
+        "burn-in",
+        "snapshots",
+        "interval",
+        "future",
+        "seed",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -58,11 +68,15 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     if count < 2 {
         return Err(CliError::usage("need at least 2 snapshots", USAGE));
     }
-    let mut times: Vec<f64> =
-        (0..count - 1).map(|i| burn_in + interval * i as f64).collect();
+    let mut times: Vec<f64> = (0..count - 1)
+        .map(|i| burn_in + interval * i as f64)
+        .collect();
     times.push(burn_in + future);
     if times.windows(2).any(|w| w[1] <= w[0]) {
-        return Err(CliError::usage("snapshot times must be strictly increasing", USAGE));
+        return Err(CliError::usage(
+            "snapshot times must be strictly increasing",
+            USAGE,
+        ));
     }
 
     let mut world = World::bootstrap(cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -83,10 +97,16 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         let mut tsv = String::from("page\tquality\tcreated_at\n");
         for pg in 0..world.num_pages() as u32 {
             let info = world.page(pg);
-            tsv.push_str(&format!("{pg}\t{:.6}\t{:.3}\n", info.quality, info.created_at));
+            tsv.push_str(&format!(
+                "{pg}\t{:.6}\t{:.3}\n",
+                info.quality, info.created_at
+            ));
         }
         write_output(Some(truth_path), &tsv)?;
-        eprintln!("wrote ground truth for {} pages to {truth_path}", world.num_pages());
+        eprintln!(
+            "wrote ground truth for {} pages to {truth_path}",
+            world.num_pages()
+        );
     }
     Ok(())
 }

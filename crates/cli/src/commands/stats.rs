@@ -86,7 +86,13 @@ mod tests {
         std::fs::write(&path, "0 1\n1 2\n2 0\n3 1\n").unwrap();
         run(&argv(&["--graph", path.to_str().unwrap()])).unwrap();
         // skipping the distance survey also works
-        run(&argv(&["--graph", path.to_str().unwrap(), "--distance-samples", "0"])).unwrap();
+        run(&argv(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--distance-samples",
+            "0",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -26,6 +26,8 @@ commands:
   stats      structural summary of a graph (degrees, bow-tie, power law)
   simulate   run the agent-based web simulator and crawl snapshots
   estimate   estimate page quality from a snapshot series
+  serve      run the quality-score TCP service over a snapshot series
+  bench-load load-test a running serve instance, report JSON latencies
   model      print the user-visitation model curves (paper figures 1-3)
   cohort     analytic popularity-vs-quality bias diagnostics
 
@@ -43,6 +45,8 @@ fn main() -> ExitCode {
         "stats" => commands::stats::run(rest),
         "simulate" => commands::simulate::run(rest),
         "estimate" => commands::estimate::run(rest),
+        "serve" => commands::serve::run(rest),
+        "bench-load" => commands::bench_load::run(rest),
         "model" => commands::model::run(rest),
         "cohort" => commands::cohort::run(rest),
         "--help" | "-h" | "help" => {

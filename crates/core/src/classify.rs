@@ -57,7 +57,10 @@ pub fn classify_trend(values: &[f64], flat_tolerance: f64) -> Trend {
 
 /// Classify every row of a trajectory matrix.
 pub fn classify_all(values: &[Vec<f64>], flat_tolerance: f64) -> Vec<Trend> {
-    values.iter().map(|v| classify_trend(v, flat_tolerance)).collect()
+    values
+        .iter()
+        .map(|v| classify_trend(v, flat_tolerance))
+        .collect()
 }
 
 #[cfg(test)]
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn small_dip_within_tolerance_still_increasing() {
         // net growth with one sub-tolerance dip counts as increasing
-        assert_eq!(classify_trend(&[1.0, 1.3, 1.29, 1.6], 0.05), Trend::Increasing);
+        assert_eq!(
+            classify_trend(&[1.0, 1.3, 1.29, 1.6], 0.05),
+            Trend::Increasing
+        );
     }
 
     #[test]

@@ -11,7 +11,11 @@
 fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("no NaN in rank input"));
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("no NaN in rank input")
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -164,7 +168,12 @@ pub fn precision_at_k(scores: &[f64], truth: &[f64], k: usize) -> f64 {
     assert!(k >= 1 && k <= scores.len(), "k must be in 1..=len");
     let top = |vals: &[f64]| -> std::collections::HashSet<usize> {
         let mut idx: Vec<usize> = (0..vals.len()).collect();
-        idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).expect("no NaN").then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| {
+            vals[b]
+                .partial_cmp(&vals[a])
+                .expect("no NaN")
+                .then(a.cmp(&b))
+        });
         idx.into_iter().take(k).collect()
     };
     let hits = top(scores).intersection(&top(truth)).count();
@@ -225,8 +234,12 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(61);
         let n = 120;
-        let x: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() * 10.0).round()).collect();
-        let y: Vec<f64> = (0..n).map(|_| (rng.random::<f64>() * 10.0).round()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|_| (rng.random::<f64>() * 10.0).round())
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|_| (rng.random::<f64>() * 10.0).round())
+            .collect();
         // naive tau-b
         let (mut c, mut d, mut tx, mut ty) = (0f64, 0f64, 0f64, 0f64);
         // NB: not f64::signum — that returns 1.0 for +0.0, which would
@@ -301,7 +314,9 @@ mod debug_tests {
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..20 {
-            let v: Vec<f64> = (0..57).map(|_| (rng.random::<f64>() * 8.0).round()).collect();
+            let v: Vec<f64> = (0..57)
+                .map(|_| (rng.random::<f64>() * 8.0).round())
+                .collect();
             let naive = (0..v.len())
                 .flat_map(|i| ((i + 1)..v.len()).map(move |j| (i, j)))
                 .filter(|&(i, j)| v[i] > v[j])

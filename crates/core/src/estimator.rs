@@ -24,7 +24,11 @@ pub trait QualityEstimator {
     }
 }
 
-fn require_snapshots(traj: &PopularityTrajectories, need: usize, name: &str) -> Result<(), CoreError> {
+fn require_snapshots(
+    traj: &PopularityTrajectories,
+    need: usize,
+    name: &str,
+) -> Result<(), CoreError> {
     if traj.num_snapshots() < need {
         return Err(CoreError::Estimator(format!(
             "{name} needs >= {need} snapshots, got {}",
@@ -55,7 +59,10 @@ pub struct PaperEstimator {
 impl Default for PaperEstimator {
     fn default() -> Self {
         // "As the constant factor C in Equation 1, we used the value 0.1."
-        PaperEstimator { c: 0.1, flat_tolerance: 0.0 }
+        PaperEstimator {
+            c: 0.1,
+            flat_tolerance: 0.0,
+        }
     }
 }
 
@@ -97,7 +104,10 @@ pub struct DerivativeOnly {
 
 impl Default for DerivativeOnly {
     fn default() -> Self {
-        DerivativeOnly { c: 0.1, flat_tolerance: 0.0 }
+        DerivativeOnly {
+            c: 0.1,
+            flat_tolerance: 0.0,
+        }
     }
 }
 
@@ -137,7 +147,11 @@ impl QualityEstimator for CurrentPopularity {
 
     fn estimate(&self, traj: &PopularityTrajectories) -> Result<Vec<f64>, CoreError> {
         require_snapshots(traj, 1, "CurrentPopularity")?;
-        Ok(traj.values.iter().map(|v| *v.last().expect("non-empty")).collect())
+        Ok(traj
+            .values
+            .iter()
+            .map(|v| *v.last().expect("non-empty"))
+            .collect())
     }
 
     fn min_snapshots(&self) -> usize {
@@ -172,7 +186,12 @@ pub struct LogisticFit {
 
 impl Default for LogisticFit {
     fn default() -> Self {
-        LogisticFit { visit_ratio: 1.0, q_max: 1.0, flat_tolerance: 1e-3, max_boost: 10.0 }
+        LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 1.0,
+            flat_tolerance: 1e-3,
+            max_boost: 10.0,
+        }
     }
 }
 
@@ -184,7 +203,10 @@ impl QualityEstimator for LogisticFit {
     fn estimate(&self, traj: &PopularityTrajectories) -> Result<Vec<f64>, CoreError> {
         require_snapshots(traj, 3, "LogisticFit")?;
         if self.q_max <= 0.0 || self.q_max.is_nan() {
-            return Err(CoreError::Estimator(format!("q_max must be positive, got {}", self.q_max)));
+            return Err(CoreError::Estimator(format!(
+                "q_max must be positive, got {}",
+                self.q_max
+            )));
         }
         Ok(traj
             .values
@@ -281,7 +303,12 @@ mod tests {
             vec![0.5, 1.0, 2.0], // young riser
             vec![2.0, 2.0, 2.0], // static incumbent at same current PR
         ]);
-        let est = PaperEstimator { c: 1.0, flat_tolerance: 0.0 }.estimate(&t).unwrap();
+        let est = PaperEstimator {
+            c: 1.0,
+            flat_tolerance: 0.0,
+        }
+        .estimate(&t)
+        .unwrap();
         assert!(est[0] > est[1], "riser {} vs incumbent {}", est[0], est[1]);
     }
 
@@ -305,7 +332,9 @@ mod tests {
         let t = traj(vec![vec![1.0]]);
         assert!(PaperEstimator::default().estimate(&t).is_err());
         assert!(CurrentPopularity.estimate(&t).is_ok());
-        assert!(LogisticFit::default().estimate(&traj(vec![vec![1.0, 2.0]])).is_err());
+        assert!(LogisticFit::default()
+            .estimate(&traj(vec![vec![1.0, 2.0]]))
+            .is_err());
     }
 
     #[test]
@@ -314,18 +343,28 @@ mod tests {
         // asymptote beats the current value as a quality estimate
         let params = qrank_model::ModelParams::new(0.6, 1e6, 1e6, 1e-3).unwrap();
         let times: Vec<f64> = vec![6.0, 8.0, 10.0, 12.0];
-        let values: Vec<f64> =
-            times.iter().map(|&t| qrank_model::popularity::popularity(&params, t)).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| qrank_model::popularity::popularity(&params, t))
+            .collect();
         let t = PopularityTrajectories {
             times,
             values: vec![values.clone()],
             pages: vec![PageId(0)],
         };
-        let est = LogisticFit { visit_ratio: 1.0, q_max: 1.0, flat_tolerance: 1e-6, max_boost: 10.0 }
-            .estimate(&t)
-            .unwrap();
+        let est = LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 1.0,
+            flat_tolerance: 1e-6,
+            max_boost: 10.0,
+        }
+        .estimate(&t)
+        .unwrap();
         assert!((est[0] - 0.6).abs() < 0.01, "fitted {} want 0.6", est[0]);
-        assert!(est[0] > *values.last().unwrap(), "fit should see past current popularity");
+        assert!(
+            est[0] > *values.last().unwrap(),
+            "fit should see past current popularity"
+        );
     }
 
     #[test]
@@ -337,19 +376,33 @@ mod tests {
             .iter()
             .map(|&t| 100.0 * qrank_model::popularity::popularity(&params, t))
             .collect();
-        let t = PopularityTrajectories { times, values: vec![values], pages: vec![PageId(0)] };
-        let est = LogisticFit { visit_ratio: 1.0, q_max: 100.0, flat_tolerance: 1e-6, max_boost: 10.0 }
-            .estimate(&t)
-            .unwrap();
+        let t = PopularityTrajectories {
+            times,
+            values: vec![values],
+            pages: vec![PageId(0)],
+        };
+        let est = LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 100.0,
+            flat_tolerance: 1e-6,
+            max_boost: 10.0,
+        }
+        .estimate(&t)
+        .unwrap();
         assert!((est[0] - 60.0).abs() < 1.0, "fitted {} want 60", est[0]);
     }
 
     #[test]
     fn logistic_fit_falls_back_on_unfittable_pages() {
         let t = traj(vec![vec![0.0, 0.0, 0.0], vec![2.0, 1.0, 2.0]]);
-        let est = LogisticFit { visit_ratio: 1.0, q_max: 3.0, flat_tolerance: 1e-3, max_boost: 10.0 }
-            .estimate(&t)
-            .unwrap();
+        let est = LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 3.0,
+            flat_tolerance: 1e-3,
+            max_boost: 10.0,
+        }
+        .estimate(&t)
+        .unwrap();
         assert_eq!(est[0], 0.0);
         // oscillating page: fit fails or is meaningless; falls back
         assert!(est[1].is_finite());
@@ -358,7 +411,12 @@ mod tests {
     #[test]
     fn logistic_fit_rejects_bad_qmax() {
         let t = traj(vec![vec![1.0, 2.0, 3.0]]);
-        let bad = LogisticFit { visit_ratio: 1.0, q_max: 0.0, flat_tolerance: 1e-3, max_boost: 10.0 };
+        let bad = LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 0.0,
+            flat_tolerance: 1e-3,
+            max_boost: 10.0,
+        };
         assert!(bad.estimate(&t).is_err());
     }
 
@@ -368,10 +426,19 @@ mod tests {
         // asymptote is unidentifiable; the cap must bound the estimate
         let values: Vec<f64> = (0..4).map(|k| 0.001 * (1.5f64).powi(k)).collect();
         let t = traj(vec![values.clone()]);
-        let est = LogisticFit { visit_ratio: 1.0, q_max: 1.0, flat_tolerance: 1e-6, max_boost: 3.0 }
-            .estimate(&t)
-            .unwrap();
-        assert!(est[0] <= values.last().unwrap() * 3.0 + 1e-12, "estimate {}", est[0]);
+        let est = LogisticFit {
+            visit_ratio: 1.0,
+            q_max: 1.0,
+            flat_tolerance: 1e-6,
+            max_boost: 3.0,
+        }
+        .estimate(&t)
+        .unwrap();
+        assert!(
+            est[0] <= values.last().unwrap() * 3.0 + 1e-12,
+            "estimate {}",
+            est[0]
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub fn relative_error(reference: f64, estimate: f64) -> f64 {
 /// Panics on length mismatch.
 pub fn relative_errors(reference: &[f64], estimate: &[f64]) -> Vec<f64> {
     assert_eq!(reference.len(), estimate.len(), "length mismatch");
-    reference.iter().zip(estimate).map(|(&r, &e)| relative_error(r, e)).collect()
+    reference
+        .iter()
+        .zip(estimate)
+        .map(|(&r, &e)| relative_error(r, e))
+        .collect()
 }
 
 /// Figure 5's histogram: `bins[i]` counts errors in `(0.1·i, 0.1·(i+1)]`
@@ -53,7 +57,11 @@ impl ErrorHistogram {
         let mut counts = [0usize; 10];
         for &e in errors {
             debug_assert!(e >= 0.0, "errors must be non-negative");
-            let bin = if e.is_finite() { ((e * 10.0).floor() as usize).min(9) } else { 9 };
+            let bin = if e.is_finite() {
+                ((e * 10.0).floor() as usize).min(9)
+            } else {
+                9
+            };
             counts[bin] += 1;
         }
         let total = errors.len();
@@ -63,7 +71,11 @@ impl ErrorHistogram {
                 *f = c as f64 / total as f64;
             }
         }
-        ErrorHistogram { fractions, counts, total }
+        ErrorHistogram {
+            fractions,
+            counts,
+            total,
+        }
     }
 
     /// Upper edge labels of the bins (0.1, 0.2, ..., 1.0) as in Figure 5.
@@ -117,14 +129,21 @@ impl EvalSummary {
         EvalSummary {
             mean_error,
             median_error,
-            frac_below_01: if count == 0 { 0.0 } else { below as f64 / count as f64 },
-            frac_above_1: if count == 0 { 0.0 } else { above as f64 / count as f64 },
+            frac_below_01: if count == 0 {
+                0.0
+            } else {
+                below as f64 / count as f64
+            },
+            frac_above_1: if count == 0 {
+                0.0
+            } else {
+                above as f64 / count as f64
+            },
             count,
             histogram: ErrorHistogram::from_errors(errors),
         }
     }
 }
-
 
 /// Percentile-bootstrap confidence interval for the mean of `values`
 /// (finite entries only). Returns `(lo, hi)` at the given confidence
@@ -135,7 +154,10 @@ impl EvalSummary {
 /// `level` is outside `(0, 1)`.
 pub fn bootstrap_mean_ci(values: &[f64], resamples: usize, level: f64, seed: u64) -> (f64, f64) {
     assert!(resamples >= 1, "need at least one resample");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1)"
+    );
     let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     assert!(!finite.is_empty(), "no finite values to bootstrap");
     let n = finite.len();
@@ -244,7 +266,10 @@ mod tests {
         let values: Vec<f64> = (0..500).map(|i| (i % 10) as f64 / 10.0).collect();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
         let (lo, hi) = bootstrap_mean_ci(&values, 2000, 0.95, 7);
-        assert!(lo < mean && mean < hi, "CI [{lo}, {hi}] should bracket {mean}");
+        assert!(
+            lo < mean && mean < hi,
+            "CI [{lo}, {hi}] should bracket {mean}"
+        );
         assert!(hi - lo < 0.1, "CI should be tight for n=500: [{lo}, {hi}]");
         // deterministic
         assert_eq!(bootstrap_mean_ci(&values, 2000, 0.95, 7), (lo, hi));

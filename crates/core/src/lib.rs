@@ -56,6 +56,8 @@ pub use estimator::{
 };
 pub use evaluation::{bootstrap_mean_ci, relative_error, ErrorHistogram, EvalSummary};
 pub use metric::PopularityMetric;
-pub use pipeline::{run_pipeline, run_pipeline_with, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    report_from_trajectories, run_pipeline, run_pipeline_with, PipelineConfig, PipelineReport,
+};
 pub use ranking::{rank_shift, ranking, RankShift};
 pub use trajectory::PopularityTrajectories;

@@ -118,6 +118,9 @@ mod tests {
 
     #[test]
     fn default_is_paper_pagerank() {
-        assert_eq!(PopularityMetric::default(), PopularityMetric::paper_pagerank());
+        assert_eq!(
+            PopularityMetric::default(),
+            PopularityMetric::paper_pagerank()
+        );
     }
 }

@@ -55,7 +55,11 @@ pub fn rank_shift(from: &[f64], to: &[f64], k: usize) -> RankShift {
     assert!(k >= 1 && k <= from.len(), "k must be in 1..=len");
     let rf = ranks(from);
     let rt = ranks(to);
-    let delta: Vec<i64> = rf.iter().zip(&rt).map(|(&a, &b)| a as i64 - b as i64).collect();
+    let delta: Vec<i64> = rf
+        .iter()
+        .zip(&rt)
+        .map(|(&a, &b)| a as i64 - b as i64)
+        .collect();
     let mean_abs_shift =
         delta.iter().map(|d| d.unsigned_abs() as f64).sum::<f64>() / delta.len() as f64;
     let top = |r: &[usize]| -> std::collections::HashSet<usize> {
@@ -84,11 +88,7 @@ pub fn rank_shift(from: &[f64], to: &[f64], k: usize) -> RankShift {
 pub fn mean_rank_of(scores: &[f64], members: &[usize]) -> f64 {
     assert!(!members.is_empty(), "need at least one member");
     let r = ranks(scores);
-    members
-        .iter()
-        .map(|&i| r[i] as f64)
-        .sum::<f64>()
-        / members.len() as f64
+    members.iter().map(|&i| r[i] as f64).sum::<f64>() / members.len() as f64
 }
 
 /// Blend two score vectors after rescaling each to zero mean / unit

@@ -47,8 +47,9 @@ pub fn render_summary(report: &PipelineReport) -> String {
 
 /// Render the per-page rows as TSV (header included), in page order.
 pub fn render_tsv(report: &PipelineReport) -> String {
-    let mut out =
-        String::from("page\ttrend\tselected\tcurrent\testimate\tfuture\terr_estimate\terr_current\n");
+    let mut out = String::from(
+        "page\ttrend\tselected\tcurrent\testimate\tfuture\terr_estimate\terr_current\n",
+    );
     for i in 0..report.pages.len() {
         out.push_str(&format!(
             "{}\t{:?}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
@@ -86,7 +87,10 @@ mod tests {
         }
         run_pipeline(
             &s,
-            &PipelineConfig { metric: PopularityMetric::InDegree, ..Default::default() },
+            &PipelineConfig {
+                metric: PopularityMetric::InDegree,
+                ..Default::default()
+            },
         )
         .unwrap()
     }

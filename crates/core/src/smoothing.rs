@@ -16,7 +16,10 @@ use crate::{CoreError, PopularityTrajectories};
 /// trajectory. `alpha = 1` leaves the data untouched; smaller values
 /// damp snapshot-to-snapshot jitter before estimation.
 pub fn ewma_smooth(traj: &PopularityTrajectories, alpha: f64) -> PopularityTrajectories {
-    assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha must be in (0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+        "alpha must be in (0, 1]"
+    );
     let values = traj
         .values
         .iter()
@@ -31,7 +34,11 @@ pub fn ewma_smooth(traj: &PopularityTrajectories, alpha: f64) -> PopularityTraje
             out
         })
         .collect();
-    PopularityTrajectories { times: traj.times.clone(), values, pages: traj.pages.clone() }
+    PopularityTrajectories {
+        times: traj.times.clone(),
+        values,
+        pages: traj.pages.clone(),
+    }
 }
 
 /// The paper's future-work adaptive window: pages whose current
@@ -51,7 +58,11 @@ pub struct AdaptiveWindow {
 
 impl Default for AdaptiveWindow {
     fn default() -> Self {
-        AdaptiveWindow { c: 0.1, threshold: 0.5, flat_tolerance: 0.0 }
+        AdaptiveWindow {
+            c: 0.1,
+            threshold: 0.5,
+            flat_tolerance: 0.0,
+        }
     }
 }
 
@@ -139,9 +150,13 @@ mod tests {
         // low-pop page that grew early and stalled: full window sees the
         // growth, recent pair does not
         let t = traj(vec![vec![0.1, 0.2, 0.2]]);
-        let est = AdaptiveWindow { c: 0.1, threshold: 0.5, flat_tolerance: 0.0 }
-            .estimate(&t)
-            .unwrap();
+        let est = AdaptiveWindow {
+            c: 0.1,
+            threshold: 0.5,
+            flat_tolerance: 0.0,
+        }
+        .estimate(&t)
+        .unwrap();
         // full window [0.1, 0.2, 0.2]: oscill.. no — nondecreasing with a
         // flat step => Increasing; growth (0.2-0.1)/0.1 = 1
         assert!((est[0] - (0.1 * 1.0 + 0.2)).abs() < 1e-12);
@@ -151,9 +166,13 @@ mod tests {
     fn adaptive_window_uses_recent_pair_for_popular_pages() {
         // popular page: early history ignored
         let t = traj(vec![vec![1.0, 2.0, 2.0]]);
-        let est = AdaptiveWindow { c: 0.1, threshold: 0.5, flat_tolerance: 0.0 }
-            .estimate(&t)
-            .unwrap();
+        let est = AdaptiveWindow {
+            c: 0.1,
+            threshold: 0.5,
+            flat_tolerance: 0.0,
+        }
+        .estimate(&t)
+        .unwrap();
         // recent pair [2.0, 2.0] is flat -> current popularity
         assert_eq!(est[0], 2.0);
     }

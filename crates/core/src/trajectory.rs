@@ -33,13 +33,20 @@ impl PopularityTrajectories {
 
     /// The trajectory of one page as `(time, value)` pairs.
     pub fn series(&self, page: usize) -> Vec<(f64, f64)> {
-        self.times.iter().copied().zip(self.values[page].iter().copied()).collect()
+        self.times
+            .iter()
+            .copied()
+            .zip(self.values[page].iter().copied())
+            .collect()
     }
 
     /// Restrict to the first `k` snapshots (e.g. hold out the last one as
     /// the "future" in the paper's evaluation).
     pub fn truncated(&self, k: usize) -> PopularityTrajectories {
-        assert!(k >= 1 && k <= self.num_snapshots(), "bad truncation length {k}");
+        assert!(
+            k >= 1 && k <= self.num_snapshots(),
+            "bad truncation length {k}"
+        );
         PopularityTrajectories {
             times: self.times[..k].to_vec(),
             values: self.values.iter().map(|v| v[..k].to_vec()).collect(),
@@ -101,7 +108,11 @@ pub fn compute_trajectories(
         }
         prev = Some(scores);
     }
-    Ok(PopularityTrajectories { times, values, pages })
+    Ok(PopularityTrajectories {
+        times,
+        values,
+        pages,
+    })
 }
 
 #[cfg(test)]
@@ -112,12 +123,15 @@ mod tests {
     fn series() -> SnapshotSeries {
         let pages = vec![PageId(1), PageId(2), PageId(3)];
         let mut s = SnapshotSeries::new();
+        s.push(Snapshot::new(0.0, CsrGraph::from_edges(3, &[(0, 1)]), pages.clone()).unwrap())
+            .unwrap();
         s.push(
-            Snapshot::new(0.0, CsrGraph::from_edges(3, &[(0, 1)]), pages.clone()).unwrap(),
-        )
-        .unwrap();
-        s.push(
-            Snapshot::new(1.0, CsrGraph::from_edges(3, &[(0, 1), (2, 1)]), pages.clone()).unwrap(),
+            Snapshot::new(
+                1.0,
+                CsrGraph::from_edges(3, &[(0, 1), (2, 1)]),
+                pages.clone(),
+            )
+            .unwrap(),
         )
         .unwrap();
         s.push(

@@ -132,10 +132,7 @@ mod tests {
     /// core {2,3}, in {0 -> 2}, out {3 -> 4}, tendril {0 -> 5},
     /// disconnected {1 isolated, 6 self-loop}.
     fn classic() -> CsrGraph {
-        CsrGraph::from_edges(
-            7,
-            &[(2, 3), (3, 2), (0, 2), (3, 4), (0, 5), (6, 6)],
-        )
+        CsrGraph::from_edges(7, &[(2, 3), (3, 2), (0, 2), (3, 4), (0, 5), (6, 6)])
     }
 
     #[test]
@@ -182,10 +179,7 @@ mod tests {
         // A to B: reaches core and is reached by... depends which SCC is
         // largest (tie by size). With sizes equal, largest_component picks
         // the lowest index = the one popped first by Tarjan = B (sink).
-        let g = CsrGraph::from_edges(
-            5,
-            &[(0, 1), (1, 0), (1, 4), (4, 2), (2, 3), (3, 2)],
-        );
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 0), (1, 4), (4, 2), (2, 3), (3, 2)]);
         let bt = bowtie_decomposition(&g);
         // core is one of the 2-cycles
         let (core, ..) = bt.counts();

@@ -33,7 +33,10 @@ impl GraphBuilder {
 
     /// A builder pre-sized with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        GraphBuilder { num_nodes: n, edges: Vec::new() }
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Reserve capacity for `additional` more edges.

@@ -179,7 +179,9 @@ mod tests {
         let g = CsrGraph::from_edges(5, &edges);
         // C(5,3) = 10 triangles
         assert_eq!(triangle_count(&g), 10);
-        assert!(local_clustering(&g).iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        assert!(local_clustering(&g)
+            .iter()
+            .all(|&c| (c - 1.0).abs() < 1e-12));
         assert!((transitivity(&g) - 1.0).abs() < 1e-12);
     }
 

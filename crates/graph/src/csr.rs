@@ -48,7 +48,10 @@ impl CsrGraph {
     /// This is the fast path used by [`crate::GraphBuilder::build`].
     /// Debug builds assert the precondition.
     pub fn from_sorted_dedup_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+dedup"
+        );
         let mut out_offsets = vec![0usize; num_nodes + 1];
         let mut in_degree = vec![0usize; num_nodes];
         for &(u, v) in edges {
@@ -71,7 +74,12 @@ impl CsrGraph {
             in_sources[*c] = u;
             *c += 1;
         }
-        CsrGraph { out_offsets, out_targets, in_offsets, in_sources }
+        CsrGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Number of nodes.
@@ -130,7 +138,10 @@ impl CsrGraph {
         if (u as usize) < self.num_nodes() {
             Ok(self.out_neighbors(u))
         } else {
-            Err(GraphError::NodeOutOfBounds { node: u as u64, num_nodes: self.num_nodes() as u64 })
+            Err(GraphError::NodeOutOfBounds {
+                node: u as u64,
+                num_nodes: self.num_nodes() as u64,
+            })
         }
     }
 
@@ -149,7 +160,9 @@ impl CsrGraph {
     /// these as linking to every page; `qrank-rank` offers that and other
     /// strategies.
     pub fn dangling_nodes(&self) -> Vec<NodeId> {
-        (0..self.num_nodes() as NodeId).filter(|&u| self.out_degree(u) == 0).collect()
+        (0..self.num_nodes() as NodeId)
+            .filter(|&u| self.out_degree(u) == 0)
+            .collect()
     }
 
     /// The transposed graph (every edge reversed). O(E).
@@ -326,7 +339,10 @@ mod tests {
         assert!(g.try_out_neighbors(3).is_ok());
         assert!(matches!(
             g.try_out_neighbors(4),
-            Err(GraphError::NodeOutOfBounds { node: 4, num_nodes: 4 })
+            Err(GraphError::NodeOutOfBounds {
+                node: 4,
+                num_nodes: 4
+            })
         ));
     }
 

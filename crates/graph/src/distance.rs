@@ -141,7 +141,11 @@ pub fn sample_distances<R: Rng + ?Sized>(
         mean_distance: mean,
         effective_diameter: eff,
         max_observed: finite.last().copied().unwrap_or(0),
-        reachable_fraction: if pairs == 0 { 0.0 } else { finite.len() as f64 / pairs as f64 },
+        reachable_fraction: if pairs == 0 {
+            0.0
+        } else {
+            finite.len() as f64 / pairs as f64
+        },
         sources_sampled: sources,
     }
 }
@@ -233,7 +237,11 @@ mod tests {
         // navigability check by surveying the transpose too
         let s = sample_distances(&g, 10, &mut rng);
         if s.reachable_fraction > 0.1 {
-            assert!(s.mean_distance < 15.0, "BA graphs are small worlds: {}", s.mean_distance);
+            assert!(
+                s.mean_distance < 15.0,
+                "BA graphs are small worlds: {}",
+                s.mean_distance
+            );
         }
     }
 

@@ -105,7 +105,11 @@ impl DynamicGraph {
     }
 
     fn latest_time(&self) -> f64 {
-        let ev = self.events.last().map(EdgeEvent::at).unwrap_or(f64::NEG_INFINITY);
+        let ev = self
+            .events
+            .last()
+            .map(EdgeEvent::at)
+            .unwrap_or(f64::NEG_INFINITY);
         let nb = self.node_birth.last().copied().unwrap_or(f64::NEG_INFINITY);
         ev.max(nb)
     }
@@ -274,9 +278,17 @@ mod tests {
 
     #[test]
     fn event_timestamp_accessor() {
-        let e = EdgeEvent::Added { src: 0, dst: 1, at: 2.5 };
+        let e = EdgeEvent::Added {
+            src: 0,
+            dst: 1,
+            at: 2.5,
+        };
         assert_eq!(e.at(), 2.5);
-        let e = EdgeEvent::Removed { src: 0, dst: 1, at: 3.5 };
+        let e = EdgeEvent::Removed {
+            src: 0,
+            dst: 1,
+            at: 3.5,
+        };
         assert_eq!(e.at(), 3.5);
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, num_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {num_nodes} nodes"
+                )
             }
             GraphError::UnknownPage(p) => write!(f, "unknown page id {p}"),
             GraphError::MisalignedSnapshots(msg) => write!(f, "misaligned snapshots: {msg}"),
@@ -76,10 +79,16 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GraphError::NodeOutOfBounds { node: 7, num_nodes: 3 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 7,
+            num_nodes: 3,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("3"));
-        let e = GraphError::Parse { line: 12, msg: "bad int".into() };
+        let e = GraphError::Parse {
+            line: 12,
+            msg: "bad int".into(),
+        };
         assert!(e.to_string().contains("line 12"));
     }
 
@@ -93,7 +102,10 @@ mod tests {
 
     #[test]
     fn out_of_order_event_display() {
-        let e = GraphError::OutOfOrderEvent { at: 1.0, latest: 2.0 };
+        let e = GraphError::OutOfOrderEvent {
+            at: 1.0,
+            latest: 2.0,
+        };
         let s = e.to_string();
         assert!(s.contains("t=1") && s.contains("t=2"));
     }

@@ -18,7 +18,10 @@ use crate::{CsrGraph, GraphBuilder, NodeId};
 /// Panics if `m` exceeds the number of possible edges.
 pub fn erdos_renyi_gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
     let possible = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    assert!(
+        m <= possible,
+        "requested {m} edges but only {possible} possible"
+    );
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     let mut builder = GraphBuilder::with_nodes(n);
     while chosen.len() < m {
@@ -121,7 +124,10 @@ pub fn copy_model<R: Rng + ?Sized>(
     copy_prob: f64,
     rng: &mut R,
 ) -> CsrGraph {
-    assert!((0.0..=1.0).contains(&copy_prob), "copy_prob must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&copy_prob),
+        "copy_prob must be a probability"
+    );
     assert!(out_deg >= 1, "out_deg must be >= 1");
     let seed = out_deg + 1;
     assert!(n >= seed, "need at least out_deg+1 nodes");
@@ -250,7 +256,11 @@ pub fn site_structured<R: Rng + ?Sized>(params: &SiteWebParams, rng: &mut R) -> 
         }
     }
     debug_assert_eq!(site_of.len(), total_pages);
-    SiteWeb { graph: builder.build(), site_of, roots }
+    SiteWeb {
+        graph: builder.build(),
+        site_of,
+        roots,
+    }
 }
 
 #[cfg(test)]
@@ -349,7 +359,10 @@ mod tests {
         let uniform = copy_model(2000, 2, 0.0, &mut rng);
         let max_c = (0..2000).map(|u| concentrated.in_degree(u)).max().unwrap();
         let max_u = (0..2000).map(|u| uniform.in_degree(u)).max().unwrap();
-        assert!(max_c > max_u, "copying should concentrate in-degree: {max_c} vs {max_u}");
+        assert!(
+            max_c > max_u,
+            "copying should concentrate in-degree: {max_c} vs {max_u}"
+        );
     }
 
     #[test]
@@ -382,7 +395,12 @@ mod tests {
     #[test]
     fn site_web_sizes_respect_bounds() {
         let mut rng = StdRng::seed_from_u64(10);
-        let params = SiteWebParams { num_sites: 8, min_pages: 3, max_pages: 7, ..Default::default() };
+        let params = SiteWebParams {
+            num_sites: 8,
+            min_pages: 3,
+            max_pages: 7,
+            ..Default::default()
+        };
         let web = site_structured(&params, &mut rng);
         let mut counts = vec![0usize; 8];
         for &s in &web.site_of {

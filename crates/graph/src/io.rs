@@ -52,7 +52,10 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, GraphError> {
                 msg: "expected `src dst`".into(),
             })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: lineno + 1, msg: format!("bad node id: {e}") })
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("bad node id: {e}"),
+            })
         };
         let u = parse(it.next(), lineno)?;
         let v = parse(it.next(), lineno)?;
@@ -92,7 +95,9 @@ pub fn decode_graph(mut buf: &[u8]) -> Result<CsrGraph, GraphError> {
 
 fn need(buf: &[u8], n: usize, what: &str) -> Result<(), GraphError> {
     if buf.remaining() < n {
-        Err(GraphError::Decode(format!("truncated while reading {what}")))
+        Err(GraphError::Decode(format!(
+            "truncated while reading {what}"
+        )))
     } else {
         Ok(())
     }
@@ -119,13 +124,21 @@ fn decode_graph_section(buf: &mut &[u8]) -> Result<CsrGraph, GraphError> {
         .checked_mul(8)
         .ok_or_else(|| GraphError::Decode(format!("edge count {edges64} overflows")))?;
     if edge_bytes > buf.remaining() as u64 {
-        return Err(GraphError::Decode("truncated while reading edge array".into()));
+        return Err(GraphError::Decode(
+            "truncated while reading edge array".into(),
+        ));
     }
     if nodes64 > u32::MAX as u64 {
-        return Err(GraphError::Decode(format!("node count {nodes64} exceeds u32 ids")));
+        return Err(GraphError::Decode(format!(
+            "node count {nodes64} exceeds u32 ids"
+        )));
     }
     const ISOLATED_ALLOWANCE: u64 = 1 << 20;
-    if nodes64 > edges64.saturating_mul(64).saturating_add(ISOLATED_ALLOWANCE) {
+    if nodes64
+        > edges64
+            .saturating_mul(64)
+            .saturating_add(ISOLATED_ALLOWANCE)
+    {
         return Err(GraphError::Decode(format!(
             "implausible header: {nodes64} nodes for {edges64} edges"
         )));
@@ -185,7 +198,9 @@ pub fn decode_series(mut buf: &[u8]) -> Result<SnapshotSeries, GraphError> {
             .checked_mul(8)
             .ok_or_else(|| GraphError::Decode(format!("page count {npages64} overflows")))?;
         if page_bytes > buf.remaining() as u64 {
-            return Err(GraphError::Decode("truncated while reading page ids".into()));
+            return Err(GraphError::Decode(
+                "truncated while reading page ids".into(),
+            ));
         }
         let npages = npages64 as usize;
         let mut pages = Vec::with_capacity(npages);
@@ -278,7 +293,10 @@ mod tests {
         bad[0] ^= 0xFF;
         assert!(matches!(decode_graph(&bad), Err(GraphError::Decode(_))));
         // truncation
-        assert!(matches!(decode_graph(&bytes[..bytes.len() - 3]), Err(GraphError::Decode(_))));
+        assert!(matches!(
+            decode_graph(&bytes[..bytes.len() - 3]),
+            Err(GraphError::Decode(_))
+        ));
         // empty
         assert!(decode_graph(&[]).is_err());
     }

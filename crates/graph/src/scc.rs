@@ -95,8 +95,7 @@ pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[u as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
                 }
                 if lowlink[u as usize] == index[u as usize] {
                     // u is an SCC root; pop its members.
@@ -114,7 +113,10 @@ pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
         }
     }
 
-    SccResult { component, num_components: num_components as usize }
+    SccResult {
+        component,
+        num_components: num_components as usize,
+    }
 }
 
 #[cfg(test)]

@@ -52,7 +52,9 @@ impl Snapshot {
         let mut sorted = pages.clone();
         sorted.sort_unstable();
         if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err(GraphError::MisalignedSnapshots("duplicate page id in snapshot".into()));
+            return Err(GraphError::MisalignedSnapshots(
+                "duplicate page id in snapshot".into(),
+            ));
         }
         Ok(Snapshot { time, graph, pages })
     }
@@ -65,7 +67,10 @@ impl Snapshot {
     /// Node id of `page`, if captured. O(n) worst case via hash map built
     /// per call; use [`Snapshot::page_index`] when doing many lookups.
     pub fn node_of(&self, page: PageId) -> Option<NodeId> {
-        self.pages.iter().position(|&p| p == page).map(|i| i as NodeId)
+        self.pages
+            .iter()
+            .position(|&p| p == page)
+            .map(|i| i as NodeId)
     }
 
     /// Build a reusable `PageId -> NodeId` index.
@@ -101,7 +106,11 @@ impl Snapshot {
             perm[pos_of_old[&old] as usize] = want as NodeId;
         }
         let graph = sub.relabel(&perm)?;
-        Ok(Snapshot { time: self.time, graph, pages: keep.to_vec() })
+        Ok(Snapshot {
+            time: self.time,
+            graph,
+            pages: keep.to_vec(),
+        })
     }
 }
 
@@ -121,7 +130,10 @@ impl SnapshotSeries {
     pub fn push(&mut self, s: Snapshot) -> Result<(), GraphError> {
         if let Some(last) = self.snapshots.last() {
             if s.time < last.time {
-                return Err(GraphError::OutOfOrderEvent { at: s.time, latest: last.time });
+                return Err(GraphError::OutOfOrderEvent {
+                    at: s.time,
+                    latest: last.time,
+                });
             }
         }
         self.snapshots.push(s);
@@ -252,7 +264,9 @@ mod tests {
     fn aligned_series_shares_numbering() {
         let mut series = SnapshotSeries::new();
         // t0: pages 1,2,3 ; edges 1->2, 2->3
-        series.push(snap(0.0, &[(0, 1), (1, 2)], &[1, 2, 3])).unwrap();
+        series
+            .push(snap(0.0, &[(0, 1), (1, 2)], &[1, 2, 3]))
+            .unwrap();
         // t1: pages 2,3,4 ; edges 2->3 (nodes 0->1)
         series.push(snap(1.0, &[(0, 1)], &[2, 3, 4])).unwrap();
         let aligned = series.aligned_to_common().unwrap();

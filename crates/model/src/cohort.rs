@@ -53,8 +53,7 @@ impl CohortEnv {
 /// number. 0 = popularity ranks exactly like quality; 0.5 = no better
 /// than random.
 pub fn pairwise_inversion_rate(env: &CohortEnv, cohort: &[CohortPage]) -> Result<f64, ModelError> {
-    let pops: Result<Vec<f64>, ModelError> =
-        cohort.iter().map(|&p| env.popularity_of(p)).collect();
+    let pops: Result<Vec<f64>, ModelError> = cohort.iter().map(|&p| env.popularity_of(p)).collect();
     let pops = pops?;
     let mut inverted = 0usize;
     let mut comparable = 0usize;
@@ -71,7 +70,11 @@ pub fn pairwise_inversion_rate(env: &CohortEnv, cohort: &[CohortPage]) -> Result
             }
         }
     }
-    Ok(if comparable == 0 { 0.0 } else { inverted as f64 / comparable as f64 })
+    Ok(if comparable == 0 {
+        0.0
+    } else {
+        inverted as f64 / comparable as f64
+    })
 }
 
 /// The "hidden gems": pages with quality at or above `quality_floor`
@@ -114,7 +117,10 @@ mod tests {
     use super::*;
 
     fn env() -> CohortEnv {
-        CohortEnv { visit_ratio: 1.0, initial_popularity: 1e-6 }
+        CohortEnv {
+            visit_ratio: 1.0,
+            initial_popularity: 1e-6,
+        }
     }
 
     #[test]
@@ -122,7 +128,10 @@ mod tests {
         // all pages old: popularity == quality, perfect agreement
         let cohort: Vec<CohortPage> = [0.2, 0.4, 0.6, 0.8]
             .iter()
-            .map(|&q| CohortPage { quality: q, age: 1e4 })
+            .map(|&q| CohortPage {
+                quality: q,
+                age: 1e4,
+            })
             .collect();
         let rate = pairwise_inversion_rate(&env(), &cohort).unwrap();
         assert_eq!(rate, 0.0);
@@ -132,8 +141,14 @@ mod tests {
     fn young_gems_cause_inversions() {
         // a brand-new excellent page vs an old mediocre one
         let cohort = vec![
-            CohortPage { quality: 0.9, age: 1.0 },  // young gem
-            CohortPage { quality: 0.3, age: 1e4 }, // mature mediocrity
+            CohortPage {
+                quality: 0.9,
+                age: 1.0,
+            }, // young gem
+            CohortPage {
+                quality: 0.3,
+                age: 1e4,
+            }, // mature mediocrity
         ];
         let rate = pairwise_inversion_rate(&env(), &cohort).unwrap();
         assert_eq!(rate, 1.0, "the single pair must be inverted");
@@ -144,9 +159,15 @@ mod tests {
         let cohort_at = |age: f64| -> Vec<CohortPage> {
             // young pages of varying quality + a mature backdrop
             let mut c: Vec<CohortPage> = (1..=9)
-                .map(|k| CohortPage { quality: k as f64 / 10.0, age })
+                .map(|k| CohortPage {
+                    quality: k as f64 / 10.0,
+                    age,
+                })
                 .collect();
-            c.extend((1..=9).map(|k| CohortPage { quality: k as f64 / 10.0, age: 1e4 }));
+            c.extend((1..=9).map(|k| CohortPage {
+                quality: k as f64 / 10.0,
+                age: 1e4,
+            }));
             c
         };
         let young = pairwise_inversion_rate(&env(), &cohort_at(2.0)).unwrap();
@@ -160,9 +181,18 @@ mod tests {
     #[test]
     fn hidden_gem_detection() {
         let cohort = vec![
-            CohortPage { quality: 0.9, age: 1.0 },  // hidden gem
-            CohortPage { quality: 0.9, age: 1e4 }, // famous gem
-            CohortPage { quality: 0.1, age: 1.0 },  // unknown, deservedly
+            CohortPage {
+                quality: 0.9,
+                age: 1.0,
+            }, // hidden gem
+            CohortPage {
+                quality: 0.9,
+                age: 1e4,
+            }, // famous gem
+            CohortPage {
+                quality: 0.1,
+                age: 1.0,
+            }, // unknown, deservedly
         ];
         let gems = hidden_gems(&env(), &cohort, 0.8, 0.5).unwrap();
         assert_eq!(gems, vec![0]);
@@ -173,7 +203,10 @@ mod tests {
         let t = time_to_overtake(&env(), 0.8, 0.3).unwrap().unwrap();
         assert!(t > 0.0 && t.is_finite());
         // at that time the new page's popularity equals the incumbent's
-        let page = CohortPage { quality: 0.8, age: t };
+        let page = CohortPage {
+            quality: 0.8,
+            age: t,
+        };
         let pop = env().popularity_of(page).unwrap();
         assert!((pop - 0.3).abs() < 1e-9);
     }
@@ -188,18 +221,30 @@ mod tests {
     fn better_pages_overtake_sooner() {
         let t_good = time_to_overtake(&env(), 0.9, 0.3).unwrap().unwrap();
         let t_ok = time_to_overtake(&env(), 0.5, 0.3).unwrap().unwrap();
-        assert!(t_good < t_ok, "higher quality spreads faster: {t_good} vs {t_ok}");
+        assert!(
+            t_good < t_ok,
+            "higher quality spreads faster: {t_good} vs {t_ok}"
+        );
     }
 
     #[test]
     fn empty_and_degenerate_cohorts() {
         assert_eq!(pairwise_inversion_rate(&env(), &[]).unwrap(), 0.0);
-        let one = vec![CohortPage { quality: 0.5, age: 3.0 }];
+        let one = vec![CohortPage {
+            quality: 0.5,
+            age: 3.0,
+        }];
         assert_eq!(pairwise_inversion_rate(&env(), &one).unwrap(), 0.0);
         // equal qualities: no comparable pairs
         let same = vec![
-            CohortPage { quality: 0.5, age: 3.0 },
-            CohortPage { quality: 0.5, age: 5.0 },
+            CohortPage {
+                quality: 0.5,
+                age: 3.0,
+            },
+            CohortPage {
+                quality: 0.5,
+                age: 5.0,
+            },
         ];
         assert_eq!(pairwise_inversion_rate(&env(), &same).unwrap(), 0.0);
     }

@@ -34,8 +34,17 @@ pub struct FitResult {
 impl FitResult {
     /// Convert to [`ModelParams`] for a given user population and visit
     /// rate (they must be consistent with the `visit_ratio` used to fit).
-    pub fn to_params(&self, num_users: f64, visits_per_unit_time: f64) -> Result<ModelParams, ModelError> {
-        ModelParams::new(self.quality, num_users, visits_per_unit_time, self.initial_popularity)
+    pub fn to_params(
+        &self,
+        num_users: f64,
+        visits_per_unit_time: f64,
+    ) -> Result<ModelParams, ModelError> {
+        ModelParams::new(
+            self.quality,
+            num_users,
+            visits_per_unit_time,
+            self.initial_popularity,
+        )
     }
 }
 
@@ -78,7 +87,9 @@ pub fn fit_quality(samples: &[(f64, f64)], visit_ratio: f64) -> Result<FitResult
     let mut t_max = f64::NEG_INFINITY;
     for &(t, p) in samples {
         if !(p > 0.0 && p < 1.0 && p.is_finite() && t.is_finite()) {
-            return Err(ModelError::FitFailed(format!("invalid sample (t={t}, P={p})")));
+            return Err(ModelError::FitFailed(format!(
+                "invalid sample (t={t}, P={p})"
+            )));
         }
         p_max = p_max.max(p);
         t_min = t_min.min(t);
@@ -92,7 +103,9 @@ pub fn fit_quality(samples: &[(f64, f64)], visit_ratio: f64) -> Result<FitResult
     let lo0 = p_max * (1.0 + 1e-9) + 1e-12;
     let hi0 = 1.0;
     if lo0 >= hi0 {
-        return Err(ModelError::FitFailed("observed popularity already at 1".into()));
+        return Err(ModelError::FitFailed(
+            "observed popularity already at 1".into(),
+        ));
     }
     let phi = (5f64.sqrt() - 1.0) / 2.0;
     let (mut lo, mut hi) = (lo0, hi0);
@@ -122,7 +135,11 @@ pub fn fit_quality(samples: &[(f64, f64)], visit_ratio: f64) -> Result<FitResult
     let (sse, intercept) = objective(samples, visit_ratio, q);
     // intercept = ln(Q/P0 − 1)  =>  P0 = Q / (1 + e^intercept)
     let p0 = q / (1.0 + intercept.exp());
-    Ok(FitResult { quality: q, initial_popularity: p0, sse })
+    Ok(FitResult {
+        quality: q,
+        initial_popularity: p0,
+        sse,
+    })
 }
 
 /// Like [`fit_quality`], but a (near-)flat series is treated as a
@@ -142,7 +159,11 @@ pub fn fit_quality_or_saturated(
         .map(|&(_, p)| (p - mean).abs())
         .fold(0.0, f64::max);
     if mean > 0.0 && spread <= flat_rel_tol * mean {
-        return Ok(FitResult { quality: mean, initial_popularity: mean, sse: 0.0 });
+        return Ok(FitResult {
+            quality: mean,
+            initial_popularity: mean,
+            sse: 0.0,
+        });
     }
     fit_quality(samples, visit_ratio)
 }
@@ -231,11 +252,19 @@ mod tests {
 
     #[test]
     fn fit_result_converts_to_params() {
-        let fit = FitResult { quality: 0.5, initial_popularity: 0.01, sse: 0.0 };
+        let fit = FitResult {
+            quality: 0.5,
+            initial_popularity: 0.01,
+            sse: 0.0,
+        };
         let params = fit.to_params(1e8, 1e8).unwrap();
         assert_eq!(params.quality, 0.5);
         // invalid combination rejected
-        let bad = FitResult { quality: 0.5, initial_popularity: 0.6, sse: 0.0 };
+        let bad = FitResult {
+            quality: 0.5,
+            initial_popularity: 0.6,
+            sse: 0.0,
+        };
         assert!(bad.to_params(1e8, 1e8).is_err());
     }
 }

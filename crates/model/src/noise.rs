@@ -119,7 +119,10 @@ impl NoiseModel {
         rng: &mut R,
         series: &[(f64, f64)],
     ) -> Vec<(f64, f64)> {
-        series.iter().map(|&(t, p)| (t, self.observe(rng, p))).collect()
+        series
+            .iter()
+            .map(|&(t, p)| (t, self.observe(rng, p)))
+            .collect()
     }
 }
 
@@ -176,7 +179,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (n, p) = (1_000_000u64, 0.3);
         let trials = 2_000;
-        let mean = (0..trials).map(|_| binomial(&mut rng, n, p) as f64).sum::<f64>()
+        let mean = (0..trials)
+            .map(|_| binomial(&mut rng, n, p) as f64)
+            .sum::<f64>()
             / trials as f64;
         let expect = 300_000.0;
         assert!((mean - expect).abs() < expect * 0.001, "mean {mean}");

@@ -57,7 +57,13 @@ pub fn integrate<F: Fn(f64, f64) -> f64>(
 pub fn popularity_trajectory(p: &ModelParams, t_max: f64, steps: usize) -> Vec<(f64, f64)> {
     let a = p.visit_ratio();
     let q = p.quality;
-    integrate(move |_, pop| a * pop * (q - pop), 0.0, p.initial_popularity, t_max, steps)
+    integrate(
+        move |_, pop| a * pop * (q - pop),
+        0.0,
+        p.initial_popularity,
+        t_max,
+        steps,
+    )
 }
 
 /// Maximum absolute deviation between the RK4 trajectory and the closed

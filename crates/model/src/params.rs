@@ -21,7 +21,11 @@ pub enum ModelError {
 impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ModelError::InvalidParameter { name, value, constraint } => {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => {
                 write!(f, "invalid {name} = {value}: must satisfy {constraint}")
             }
             ModelError::FitFailed(msg) => write!(f, "fit failed: {msg}"),
@@ -75,19 +79,38 @@ impl ModelParams {
             if ok && value.is_finite() {
                 Ok(())
             } else {
-                Err(ModelError::InvalidParameter { name, value, constraint })
+                Err(ModelError::InvalidParameter {
+                    name,
+                    value,
+                    constraint,
+                })
             }
         }
-        check("quality", quality, quality > 0.0 && quality <= 1.0, "0 < Q <= 1")?;
+        check(
+            "quality",
+            quality,
+            quality > 0.0 && quality <= 1.0,
+            "0 < Q <= 1",
+        )?;
         check("num_users", num_users, num_users > 0.0, "n > 0")?;
-        check("visits_per_unit_time", visits_per_unit_time, visits_per_unit_time > 0.0, "r > 0")?;
+        check(
+            "visits_per_unit_time",
+            visits_per_unit_time,
+            visits_per_unit_time > 0.0,
+            "r > 0",
+        )?;
         check(
             "initial_popularity",
             initial_popularity,
             initial_popularity > 0.0 && initial_popularity <= quality,
             "0 < P0 <= Q",
         )?;
-        Ok(ModelParams { quality, num_users, visits_per_unit_time, initial_popularity })
+        Ok(ModelParams {
+            quality,
+            num_users,
+            visits_per_unit_time,
+            initial_popularity,
+        })
     }
 
     /// The paper's Figure 1 parameters: `Q = 0.8`, `n = r = 1e8`,
@@ -117,7 +140,12 @@ impl ModelParams {
 
     /// Replace the quality, revalidating.
     pub fn with_quality(&self, quality: f64) -> Result<Self, ModelError> {
-        ModelParams::new(quality, self.num_users, self.visits_per_unit_time, self.initial_popularity)
+        ModelParams::new(
+            quality,
+            self.num_users,
+            self.visits_per_unit_time,
+            self.initial_popularity,
+        )
     }
 
     /// Replace the initial popularity, revalidating.

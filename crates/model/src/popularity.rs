@@ -182,10 +182,19 @@ mod tests {
         // stage (t = 15 and 30) ... In the third maturity stage the
         // popularity stabilizes" (at 0.8).
         let p = ModelParams::figure1();
-        assert!(popularity(&p, 10.0) < 0.05, "infant stage should be near zero");
+        assert!(
+            popularity(&p, 10.0) < 0.05,
+            "infant stage should be near zero"
+        );
         let mid = popularity(&p, 23.0);
-        assert!(mid > 0.1 && mid < 0.75, "expansion stage should be midway, got {mid}");
-        assert!(popularity(&p, 40.0) > 0.75, "maturity stage should approach 0.8");
+        assert!(
+            mid > 0.1 && mid < 0.75,
+            "expansion stage should be midway, got {mid}"
+        );
+        assert!(
+            popularity(&p, 40.0) > 0.75,
+            "maturity stage should approach 0.8"
+        );
     }
 
     #[test]

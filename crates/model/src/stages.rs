@@ -127,7 +127,11 @@ mod tests {
                 LifeStage::Expansion => 1,
                 LifeStage::Maturity => 2,
             };
-            assert!(rank(s) >= rank(last), "stage regressed at t={}", i as f64 * 0.3);
+            assert!(
+                rank(s) >= rank(last),
+                "stage regressed at t={}",
+                i as f64 * 0.3
+            );
             last = s;
         }
         assert_eq!(last, LifeStage::Maturity);

@@ -25,7 +25,10 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { node_tolerance: 1e-14, patience: 3 }
+        AdaptiveConfig {
+            node_tolerance: 1e-14,
+            patience: 3,
+        }
     }
 }
 
@@ -60,7 +63,12 @@ pub fn adaptive(g: &CsrGraph, config: &PageRankConfig, acfg: &AdaptiveConfig) ->
     let n = g.num_nodes();
     if n == 0 {
         return AdaptiveResult {
-            result: PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() },
+            result: PageRankResult {
+                scores: Vec::new(),
+                iterations: 0,
+                converged: true,
+                residuals: Vec::new(),
+            },
             updates_performed: 0,
             updates_baseline: 0,
         };
@@ -128,7 +136,12 @@ pub fn adaptive(g: &CsrGraph, config: &PageRankConfig, acfg: &AdaptiveConfig) ->
     }
     apply_scale(&mut x, config.scale);
     AdaptiveResult {
-        result: PageRankResult { scores: x, iterations, converged, residuals },
+        result: PageRankResult {
+            scores: x,
+            iterations,
+            converged,
+            residuals,
+        },
         updates_performed,
         updates_baseline: (n as u64) * iterations as u64,
     }
@@ -146,7 +159,10 @@ mod tests {
     fn matches_power_iteration_closely() {
         let mut rng = StdRng::seed_from_u64(31);
         let g = erdos_renyi_gnm(300, 1500, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-11, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-11,
+            ..Default::default()
+        };
         let exact = pagerank(&g, &cfg);
         let adapt = adaptive(&g, &cfg, &AdaptiveConfig::default());
         assert!(adapt.result.converged);
@@ -159,9 +175,15 @@ mod tests {
     fn freezing_saves_work_on_skewed_graphs() {
         let mut rng = StdRng::seed_from_u64(32);
         let g = barabasi_albert(2000, 3, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         // generous node tolerance so freezing actually kicks in
-        let acfg = AdaptiveConfig { node_tolerance: 1e-12, patience: 2 };
+        let acfg = AdaptiveConfig {
+            node_tolerance: 1e-12,
+            patience: 2,
+        };
         let adapt = adaptive(&g, &cfg, &acfg);
         assert!(adapt.result.converged);
         assert!(
@@ -178,7 +200,14 @@ mod tests {
         let g = barabasi_albert(500, 2, &mut rng);
         let cfg = PageRankConfig::default();
         let exact = pagerank(&g, &cfg);
-        let adapt = adaptive(&g, &cfg, &AdaptiveConfig { node_tolerance: 1e-10, patience: 2 });
+        let adapt = adaptive(
+            &g,
+            &cfg,
+            &AdaptiveConfig {
+                node_tolerance: 1e-10,
+                patience: 2,
+            },
+        );
         // top-20 sets should coincide
         let top = |r: &PageRankResult| {
             let mut t: Vec<u32> = r.ranking().into_iter().take(20).collect();
@@ -206,7 +235,10 @@ mod tests {
         let _ = adaptive(
             &g,
             &PageRankConfig::default(),
-            &AdaptiveConfig { node_tolerance: 0.0, patience: 1 },
+            &AdaptiveConfig {
+                node_tolerance: 0.0,
+                patience: 1,
+            },
         );
     }
 
@@ -217,7 +249,10 @@ mod tests {
         let _ = adaptive(
             &g,
             &PageRankConfig::default(),
-            &AdaptiveConfig { node_tolerance: 1e-12, patience: 0 },
+            &AdaptiveConfig {
+                node_tolerance: 1e-12,
+                patience: 0,
+            },
         );
     }
 
@@ -228,7 +263,10 @@ mod tests {
         let adapt = adaptive(
             &g,
             &PageRankConfig::default(),
-            &AdaptiveConfig { node_tolerance: 1e-8, patience: 1 },
+            &AdaptiveConfig {
+                node_tolerance: 1e-8,
+                patience: 1,
+            },
         );
         let sum: f64 = adapt.result.scores.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);

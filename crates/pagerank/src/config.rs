@@ -110,18 +110,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "follow_prob")]
     fn rejects_alpha_one() {
-        PageRankConfig { follow_prob: 1.0, ..Default::default() }.validate();
+        PageRankConfig {
+            follow_prob: 1.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "tolerance")]
     fn rejects_zero_tolerance() {
-        PageRankConfig { tolerance: 0.0, ..Default::default() }.validate();
+        PageRankConfig {
+            tolerance: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "iteration")]
     fn rejects_zero_iterations() {
-        PageRankConfig { max_iterations: 0, ..Default::default() }.validate();
+        PageRankConfig {
+            max_iterations: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

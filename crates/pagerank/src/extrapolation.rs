@@ -18,10 +18,18 @@ use crate::PageRankConfig;
 /// 5–10 works well in practice.
 pub fn extrapolated(g: &CsrGraph, config: &PageRankConfig, period: usize) -> PageRankResult {
     config.validate();
-    assert!(period >= 3, "extrapolation period must be >= 3, got {period}");
+    assert!(
+        period >= 3,
+        "extrapolation period must be >= 3, got {period}"
+    );
     let n = g.num_nodes();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
     }
     let inv = inv_out_degrees(g);
     let mut x = vec![1.0 / n as f64; n];
@@ -48,7 +56,12 @@ pub fn extrapolated(g: &CsrGraph, config: &PageRankConfig, period: usize) -> Pag
         }
     }
     apply_scale(&mut x, config.scale);
-    PageRankResult { scores: x, iterations, converged, residuals }
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
 }
 
 /// Componentwise Aitken Δ²: given `x_k` (in `x`), `x_{k-1}`, `x_{k-2}`,
@@ -99,7 +112,10 @@ mod tests {
     #[test]
     fn matches_power_iteration_fixed_point() {
         let g = random_graph(300, 1800, 21);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let a = pagerank(&g, &cfg);
         let b = extrapolated(&g, &cfg, 5);
         assert!(b.converged);
@@ -162,7 +178,10 @@ mod tests {
     #[test]
     fn handles_dangling_nodes() {
         let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 2), (4, 0)]);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let a = pagerank(&g, &cfg);
         let b = extrapolated(&g, &cfg, 5);
         for (x, y) in a.scores.iter().zip(&b.scores) {

@@ -21,15 +21,46 @@ use crate::{DanglingStrategy, PageRankConfig};
 /// tested), usually in noticeably fewer sweeps. The residual reported per
 /// sweep is the L1 distance between consecutive sweep results.
 pub fn gauss_seidel(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
+    gauss_seidel_warm(g, config, None)
+}
+
+/// Gauss–Seidel PageRank with an optional warm start.
+///
+/// Seeding the sweeps with a previous (similar) graph's vector cuts the
+/// sweep count the same way [`crate::pagerank_warm`] does for power
+/// iteration — the trick an incremental re-ranking service relies on.
+/// The warm vector may be on either score scale (it is renormalized to a
+/// distribution); a zero-sum, negative, or wrong-length vector falls
+/// back to the uniform cold start.
+pub fn gauss_seidel_warm(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    warm: Option<&[f64]>,
+) -> PageRankResult {
     config.validate();
     let n = g.num_nodes();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
     }
     let inv = inv_out_degrees(g);
     let alpha = config.follow_prob;
     let teleport = (1.0 - alpha) / n as f64;
-    let mut x = vec![1.0 / n as f64; n];
+    let mut x = match warm {
+        Some(w)
+            if w.len() == n
+                && w.iter().all(|&v| v.is_finite() && v >= 0.0)
+                && w.iter().sum::<f64>() > 0.0 =>
+        {
+            let sum: f64 = w.iter().sum();
+            w.iter().map(|&v| v / sum).collect()
+        }
+        _ => vec![1.0 / n as f64; n],
+    };
     let mut prev = vec![0.0; n];
     let mut residuals = Vec::new();
     let mut converged = false;
@@ -86,7 +117,12 @@ pub fn gauss_seidel(g: &CsrGraph, config: &PageRankConfig) -> PageRankResult {
         }
     }
     apply_scale(&mut x, config.scale);
-    PageRankResult { scores: x, iterations, converged, residuals }
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +149,10 @@ mod tests {
     #[test]
     fn matches_power_iteration() {
         let g = random_graph(200, 1200, 7);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let a = pagerank(&g, &cfg);
         let b = gauss_seidel(&g, &cfg);
         assert!(a.converged && b.converged);
@@ -127,11 +166,18 @@ mod tests {
         // graph with many dangling nodes
         let g = CsrGraph::from_edges(8, &[(0, 1), (0, 2), (1, 3), (2, 4), (5, 6)]);
         for strategy in [DanglingStrategy::LinkToAll, DanglingStrategy::SelfLoop] {
-            let cfg = PageRankConfig { dangling: strategy, tolerance: 1e-13, ..Default::default() };
+            let cfg = PageRankConfig {
+                dangling: strategy,
+                tolerance: 1e-13,
+                ..Default::default()
+            };
             let a = pagerank(&g, &cfg);
             let b = gauss_seidel(&g, &cfg);
             for (i, (x, y)) in a.scores.iter().zip(&b.scores).enumerate() {
-                assert!((x - y).abs() < 1e-7, "{strategy:?} node {i}: power {x} vs gs {y}");
+                assert!(
+                    (x - y).abs() < 1e-7,
+                    "{strategy:?} node {i}: power {x} vs gs {y}"
+                );
             }
         }
     }
@@ -160,7 +206,11 @@ mod tests {
         edges.push((n - 1, 0));
         edges.push((0, n / 2));
         let g = CsrGraph::from_edges(n as usize, &edges);
-        let cfg = PageRankConfig { tolerance: 1e-10, max_iterations: 2000, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            ..Default::default()
+        };
         let a = pagerank(&g, &cfg);
         let b = gauss_seidel(&g, &cfg);
         assert!(a.converged && b.converged);
@@ -180,6 +230,48 @@ mod tests {
         let r = gauss_seidel(&CsrGraph::from_edges(0, &[]), &PageRankConfig::default());
         assert!(r.scores.is_empty());
         assert!(r.converged);
+    }
+
+    #[test]
+    fn warm_start_converges_to_cold_fixed_point_in_fewer_sweeps() {
+        let g = random_graph(400, 2400, 11);
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let cold = gauss_seidel(&g, &cfg);
+        // perturb: a handful of extra edges between low-traffic nodes
+        let mut edges: Vec<(u32, u32)> = g.edges().collect();
+        edges.extend((0..10u32).map(|i| (380 + i, 100 + i)));
+        let g2 = CsrGraph::from_edges(400, &edges);
+        let cold2 = gauss_seidel(&g2, &cfg);
+        let warm2 = gauss_seidel_warm(&g2, &cfg, Some(&cold.scores));
+        assert!(warm2.converged);
+        for (a, b) in cold2.scores.iter().zip(&warm2.scores) {
+            assert!((a - b).abs() < 1e-9, "cold {a} vs warm {b}");
+        }
+        assert!(
+            warm2.iterations <= cold2.iterations,
+            "warm {} vs cold {}",
+            warm2.iterations,
+            cold2.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_rejects_degenerate_vectors() {
+        let g = random_graph(50, 200, 13);
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let cold = gauss_seidel(&g, &cfg);
+        for bad in [vec![0.0; 50], vec![1.0; 49], vec![f64::NAN; 50]] {
+            let r = gauss_seidel_warm(&g, &cfg, Some(&bad));
+            for (a, b) in cold.scores.iter().zip(&r.scores) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

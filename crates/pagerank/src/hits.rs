@@ -29,7 +29,12 @@ pub fn hits(g: &CsrGraph, tolerance: f64, max_iterations: usize) -> HitsResult {
     assert!(max_iterations >= 1, "need at least one iteration");
     let n = g.num_nodes();
     if n == 0 {
-        return HitsResult { authorities: Vec::new(), hubs: Vec::new(), iterations: 0, converged: true };
+        return HitsResult {
+            authorities: Vec::new(),
+            hubs: Vec::new(),
+            iterations: 0,
+            converged: true,
+        };
     }
     let init = 1.0 / (n as f64).sqrt();
     let mut auth = vec![init; n];
@@ -42,19 +47,35 @@ pub fn hits(g: &CsrGraph, tolerance: f64, max_iterations: usize) -> HitsResult {
     while iterations < max_iterations {
         // a[v] = sum of h[u] over u -> v
         for (v, slot) in new_auth.iter_mut().enumerate() {
-            *slot = g.in_neighbors(v as u32).iter().map(|&u| hub[u as usize]).sum();
+            *slot = g
+                .in_neighbors(v as u32)
+                .iter()
+                .map(|&u| hub[u as usize])
+                .sum();
         }
         normalize_l2(&mut new_auth);
         // h[u] = sum of a[v] over u -> v
         for (u, slot) in new_hub.iter_mut().enumerate() {
-            *slot = g.out_neighbors(u as u32).iter().map(|&v| new_auth[v as usize]).sum();
+            *slot = g
+                .out_neighbors(u as u32)
+                .iter()
+                .map(|&v| new_auth[v as usize])
+                .sum();
         }
         normalize_l2(&mut new_hub);
 
         // Track both vectors: authorities alone can be stationary while
         // hubs still move (e.g. every node has in-degree exactly 1).
-        let delta: f64 = auth.iter().zip(&new_auth).map(|(a, b)| (a - b).abs()).sum::<f64>()
-            + hub.iter().zip(&new_hub).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let delta: f64 = auth
+            .iter()
+            .zip(&new_auth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            + hub
+                .iter()
+                .zip(&new_hub)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
         std::mem::swap(&mut auth, &mut new_auth);
         std::mem::swap(&mut hub, &mut new_hub);
         iterations += 1;
@@ -63,7 +84,12 @@ pub fn hits(g: &CsrGraph, tolerance: f64, max_iterations: usize) -> HitsResult {
             break;
         }
     }
-    HitsResult { authorities: auth, hubs: hub, iterations, converged }
+    HitsResult {
+        authorities: auth,
+        hubs: hub,
+        iterations,
+        converged,
+    }
 }
 
 fn normalize_l2(v: &mut [f64]) {
@@ -97,7 +123,10 @@ mod tests {
         }
         let r = hits(&b.build(), 1e-12, 200);
         assert!(r.converged);
-        assert!((r.authorities[0] - 1.0).abs() < 1e-6, "node 0 is the sole authority");
+        assert!(
+            (r.authorities[0] - 1.0).abs() < 1e-6,
+            "node 0 is the sole authority"
+        );
         for i in 1..6 {
             assert!(r.authorities[i] < 1e-6);
             assert!(r.hubs[i] > 0.1, "pointers are hubs");
@@ -112,7 +141,10 @@ mod tests {
         let r = hits(&g, 1e-12, 500);
         assert!(r.converged);
         assert!(r.authorities[2] > r.authorities[3]);
-        assert!(r.hubs[0] > r.hubs[1], "hub linking to both authorities scores higher");
+        assert!(
+            r.hubs[0] > r.hubs[1],
+            "hub linking to both authorities scores higher"
+        );
     }
 
     #[test]

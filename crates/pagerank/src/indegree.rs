@@ -10,7 +10,9 @@ use qrank_graph::CsrGraph;
 /// Raw in-degree of every node, as `f64` for drop-in use wherever a
 /// popularity vector is expected.
 pub fn indegree_scores(g: &CsrGraph) -> Vec<f64> {
-    (0..g.num_nodes() as u32).map(|v| g.in_degree(v) as f64).collect()
+    (0..g.num_nodes() as u32)
+        .map(|v| g.in_degree(v) as f64)
+        .collect()
 }
 
 /// In-degree normalized to sum to 1 (a probability-style popularity

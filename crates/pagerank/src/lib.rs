@@ -53,7 +53,7 @@ pub mod power;
 pub use adaptive::adaptive;
 pub use config::{DanglingStrategy, PageRankConfig, ScoreScale};
 pub use extrapolation::extrapolated;
-pub use gauss_seidel::gauss_seidel;
+pub use gauss_seidel::{gauss_seidel, gauss_seidel_warm};
 pub use hits::{hits, HitsResult};
 pub use indegree::{indegree_scores, normalized_indegree};
 pub use opic::{opic, OpicPolicy, OpicResult};

@@ -3,24 +3,43 @@
 //! The pull formulation (`new[v]` reads only `x[in_neighbors(v)]`) makes
 //! each output chunk independent, so an iteration parallelizes with no
 //! locks on the hot path: worker threads own disjoint slices of the
-//! output vector. Per-iteration reductions (dangling mass, residual) are
-//! combined through a `parking_lot`-protected accumulator.
+//! output vector. Threads are spawned **once** for the whole solve and
+//! meet at two [`Barrier`]s per iteration; the score vectors live in
+//! [`AtomicU64`] double buffers (f64 bit patterns) so all workers can
+//! share them without `unsafe`. Per-iteration reductions (dangling mass,
+//! residual) go through per-thread slots that every worker re-sums in
+//! slot order, so all workers compute bitwise-identical totals and agree
+//! on convergence without any coordinator.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
 use qrank_graph::CsrGraph;
 
 use crate::power::{apply_scale, inv_out_degrees, PageRankResult};
 use crate::{DanglingStrategy, PageRankConfig};
 
+#[inline]
+fn f64_load(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.load(Ordering::Relaxed))
+}
+
+#[inline]
+fn f64_store(a: &AtomicU64, v: f64) {
+    a.store(v.to_bits(), Ordering::Relaxed);
+}
+
 /// Compute PageRank with `num_threads` worker threads.
 ///
 /// Produces the same vector as [`crate::pagerank`] (bitwise equality is
 /// not guaranteed — floating-point summation order differs — but results
-/// agree to well below any practical tolerance).
+/// agree to well below any practical tolerance). For a fixed thread
+/// count the result *is* bitwise deterministic across runs.
 ///
-/// **When to use:** only on graphs far beyond ~10⁵ nodes. A thread scope
-/// is spawned per iteration, so on small graphs the spawn overhead
-/// dwarfs the per-iteration work and the sequential solvers win (see the
+/// **When to use:** only on graphs far beyond ~10⁵ nodes. Threads are
+/// spawned once per solve, but each iteration still crosses two
+/// barriers, so on small graphs the synchronization dwarfs the
+/// per-iteration work and the sequential solvers win (see the
 /// `pagerank_solvers` bench group). Gauss–Seidel is the fastest
 /// sequential choice on web-shaped graphs.
 ///
@@ -35,7 +54,12 @@ pub fn parallel_pagerank(
     assert!(num_threads >= 1, "need at least one thread");
     let n = g.num_nodes();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
     }
     let threads = num_threads.min(n);
     let inv = inv_out_degrees(g);
@@ -43,83 +67,93 @@ pub fn parallel_pagerank(
     let teleport = (1.0 - alpha) / n as f64;
     let chunk = n.div_ceil(threads);
 
-    let mut x = vec![1.0 / n as f64; n];
-    let mut next = vec![0.0; n];
-    let mut residuals = Vec::new();
-    let mut converged = false;
-    let mut iterations = 0;
+    let init = (1.0 / n as f64).to_bits();
+    let buf_a: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(init)).collect();
+    let buf_b: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let dangling_slots: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let residual_slots: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(threads);
 
-    while iterations < config.max_iterations {
-        // Parallel reduce: dangling mass.
-        let dangling_mass = {
-            let acc = Mutex::new(0.0f64);
-            std::thread::scope(|s| {
-                for (ci, x_chunk) in x.chunks(chunk).enumerate() {
-                    let inv = &inv;
-                    let acc = &acc;
-                    s.spawn(move || {
-                        let base = ci * chunk;
-                        let local: f64 = x_chunk
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, _)| inv[base + i] == 0.0)
-                            .map(|(_, &v)| v)
-                            .sum();
-                        *acc.lock() += local;
-                    });
+    // Every worker runs the identical control flow; because the reduced
+    // totals are bitwise identical on all workers, they take the same
+    // branch at every iteration and the barriers never deadlock.
+    let worker = |tid: usize| -> (usize, bool, Vec<f64>) {
+        let lo = (tid * chunk).min(n);
+        let hi = ((tid + 1) * chunk).min(n);
+        let (mut from, mut to) = (&buf_a, &buf_b);
+        let mut residuals = Vec::new();
+        let mut converged = false;
+        let mut iterations = 0;
+        while iterations < config.max_iterations {
+            // Phase 1: local dangling mass into this worker's slot.
+            let local_dangling: f64 = (lo..hi)
+                .filter(|&v| inv[v] == 0.0)
+                .map(|v| f64_load(&from[v]))
+                .sum();
+            f64_store(&dangling_slots[tid], local_dangling);
+            barrier.wait();
+            // All slots are published; each worker re-sums them in slot
+            // order so the total is identical everywhere.
+            let dangling_mass: f64 = dangling_slots.iter().map(f64_load).sum();
+            let dangling_share = match config.dangling {
+                DanglingStrategy::LinkToAll => alpha * dangling_mass / n as f64,
+                _ => 0.0,
+            };
+
+            // Phase 2: pull-update this worker's output chunk.
+            let mut local_res = 0.0;
+            for v in lo..hi {
+                let mut sum = 0.0;
+                for &u in g.in_neighbors(v as u32) {
+                    sum += f64_load(&from[u as usize]) * inv[u as usize];
                 }
-            });
-            acc.into_inner()
-        };
-        let dangling_share = match config.dangling {
-            DanglingStrategy::LinkToAll => alpha * dangling_mass / n as f64,
-            _ => 0.0,
-        };
-
-        // Parallel update over disjoint output chunks.
-        let residual = {
-            let acc = Mutex::new(0.0f64);
-            std::thread::scope(|s| {
-                for (ci, out) in next.chunks_mut(chunk).enumerate() {
-                    let x = &x;
-                    let inv = &inv;
-                    let acc = &acc;
-                    s.spawn(move || {
-                        let base = ci * chunk;
-                        let mut local_res = 0.0;
-                        for (i, slot) in out.iter_mut().enumerate() {
-                            let v = base + i;
-                            let mut sum = 0.0;
-                            for &u in g.in_neighbors(v as u32) {
-                                sum += x[u as usize] * inv[u as usize];
-                            }
-                            let mut val = teleport + dangling_share + alpha * sum;
-                            if inv[v] == 0.0 && config.dangling == DanglingStrategy::SelfLoop {
-                                val += alpha * x[v];
-                            }
-                            *slot = val;
-                            local_res += (val - x[v]).abs();
-                        }
-                        *acc.lock() += local_res;
-                    });
+                let x_v = f64_load(&from[v]);
+                let mut val = teleport + dangling_share + alpha * sum;
+                if inv[v] == 0.0 && config.dangling == DanglingStrategy::SelfLoop {
+                    val += alpha * x_v;
                 }
-            });
-            acc.into_inner()
-        };
+                f64_store(&to[v], val);
+                local_res += (val - x_v).abs();
+            }
+            f64_store(&residual_slots[tid], local_res);
+            barrier.wait();
+            let residual: f64 = residual_slots.iter().map(f64_load).sum();
 
-        std::mem::swap(&mut x, &mut next);
-        iterations += 1;
-        residuals.push(residual);
-        if residual < config.tolerance {
-            converged = true;
-            break;
+            std::mem::swap(&mut from, &mut to);
+            iterations += 1;
+            residuals.push(residual);
+            if residual < config.tolerance {
+                converged = true;
+                break;
+            }
         }
-    }
+        (iterations, converged, residuals)
+    };
+
+    let worker = &worker;
+    let (iterations, converged, residuals) = std::thread::scope(|s| {
+        for tid in 1..threads {
+            s.spawn(move || {
+                let _ = worker(tid);
+            });
+        }
+        worker(0) // the calling thread is worker 0
+    });
+
+    // After `iterations` swaps the freshest scores sit in buf_b on odd
+    // counts, buf_a on even ones.
+    let final_buf = if iterations % 2 == 1 { &buf_b } else { &buf_a };
+    let mut x: Vec<f64> = final_buf.iter().map(f64_load).collect();
     if config.dangling == DanglingStrategy::RemoveAndRenormalize {
         crate::power::renormalize(&mut x);
     }
     apply_scale(&mut x, config.scale);
-    PageRankResult { scores: x, iterations, converged, residuals }
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +168,10 @@ mod tests {
     fn matches_sequential_solver() {
         let mut rng = StdRng::seed_from_u64(41);
         let g = erdos_renyi_gnm(500, 3000, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let seq = pagerank(&g, &cfg);
         for threads in [1, 2, 4, 7] {
             let par = parallel_pagerank(&g, &cfg, threads);
@@ -153,7 +190,11 @@ mod tests {
             DanglingStrategy::SelfLoop,
             DanglingStrategy::RemoveAndRenormalize,
         ] {
-            let cfg = PageRankConfig { dangling: strategy, tolerance: 1e-12, ..Default::default() };
+            let cfg = PageRankConfig {
+                dangling: strategy,
+                tolerance: 1e-12,
+                ..Default::default()
+            };
             let seq = pagerank(&g, &cfg);
             let par = parallel_pagerank(&g, &cfg, 3);
             for (a, b) in seq.scores.iter().zip(&par.scores) {
@@ -191,7 +232,10 @@ mod tests {
         let cfg = PageRankConfig::default();
         let a = parallel_pagerank(&g, &cfg, 4);
         let b = parallel_pagerank(&g, &cfg, 4);
-        assert_eq!(a.scores, b.scores, "same thread count must be bitwise deterministic");
+        assert_eq!(
+            a.scores, b.scores,
+            "same thread count must be bitwise deterministic"
+        );
     }
 
     use qrank_graph::CsrGraph;

@@ -28,11 +28,23 @@ pub fn personalized_pagerank(
 ) -> PageRankResult {
     config.validate();
     let n = g.num_nodes();
-    assert_eq!(preference.len(), n, "preference vector length must equal node count");
+    assert_eq!(
+        preference.len(),
+        n,
+        "preference vector length must equal node count"
+    );
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
     }
-    assert!(preference.iter().all(|&p| p >= 0.0 && p.is_finite()), "preference entries must be non-negative");
+    assert!(
+        preference.iter().all(|&p| p >= 0.0 && p.is_finite()),
+        "preference entries must be non-negative"
+    );
     let pref_sum: f64 = preference.iter().sum();
     assert!(pref_sum > 0.0, "preference vector must have positive mass");
     let pref: Vec<f64> = preference.iter().map(|&p| p / pref_sum).collect();
@@ -76,7 +88,12 @@ pub fn personalized_pagerank(
         crate::power::renormalize(&mut x);
     }
     apply_scale(&mut x, config.scale);
-    PageRankResult { scores: x, iterations, converged, residuals }
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +108,10 @@ mod tests {
     fn uniform_preference_equals_plain_pagerank() {
         let mut rng = StdRng::seed_from_u64(51);
         let g = erdos_renyi_gnm(200, 1000, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
         let plain = pagerank(&g, &cfg);
         let uniform = vec![1.0; 200];
         let pers = personalized_pagerank(&g, &cfg, &uniform);
@@ -105,14 +125,26 @@ mod tests {
         // two weakly linked cliques; prefer clique A
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (5, 0)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (5, 0),
+            ],
         );
         let mut pref = vec![0.0; 6];
         pref[0] = 1.0;
         let r = personalized_pagerank(&g, &PageRankConfig::default(), &pref);
         let mass_a: f64 = r.scores[..3].iter().sum();
         let mass_b: f64 = r.scores[3..].iter().sum();
-        assert!(mass_a > mass_b, "preferred clique should hold more mass: {mass_a} vs {mass_b}");
+        assert!(
+            mass_a > mass_b,
+            "preferred clique should hold more mass: {mass_a} vs {mass_b}"
+        );
         let sum: f64 = r.scores.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
@@ -126,7 +158,10 @@ mod tests {
         let mut pref = vec![0.0; 3];
         pref[0] = 1.0;
         let r = personalized_pagerank(&g, &PageRankConfig::default(), &pref);
-        assert!(r.scores[0] > r.scores[2], "seed should outrank the far node");
+        assert!(
+            r.scores[0] > r.scores[2],
+            "seed should outrank the far node"
+        );
     }
 
     #[test]

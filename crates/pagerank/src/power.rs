@@ -137,7 +137,12 @@ pub fn pagerank_warm(
     config.validate();
     let n = g.num_nodes();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true, residuals: Vec::new() };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            residuals: Vec::new(),
+        };
     }
     let inv = inv_out_degrees(g);
     let mut x = match warm {
@@ -169,7 +174,12 @@ pub fn pagerank_warm(
         renormalize(&mut x);
     }
     apply_scale(&mut x, config.scale);
-    PageRankResult { scores: x, iterations, converged, residuals }
+    PageRankResult {
+        scores: x,
+        iterations,
+        converged,
+        residuals,
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +236,10 @@ mod tests {
             DanglingStrategy::SelfLoop,
             DanglingStrategy::RemoveAndRenormalize,
         ] {
-            let cfg = PageRankConfig { dangling: strategy, ..Default::default() };
+            let cfg = PageRankConfig {
+                dangling: strategy,
+                ..Default::default()
+            };
             let r = pagerank(&g, &cfg);
             let sum: f64 = r.scores.iter().sum();
             assert!((sum - 1.0).abs() < 1e-8, "{strategy:?}: sum {sum}");
@@ -239,7 +252,10 @@ mod tests {
         let link_all = pagerank(&g, &PageRankConfig::default());
         let self_loop = pagerank(
             &g,
-            &PageRankConfig { dangling: DanglingStrategy::SelfLoop, ..Default::default() },
+            &PageRankConfig {
+                dangling: DanglingStrategy::SelfLoop,
+                ..Default::default()
+            },
         );
         assert!(self_loop.scores[2] > link_all.scores[2]);
     }
@@ -251,7 +267,10 @@ mod tests {
         let g = CsrGraph::from_edges(5, &[(2, 0), (3, 0), (4, 1)]);
         let r = pagerank(&g, &PageRankConfig::default());
         assert!(r.scores[0] > r.scores[1]);
-        assert!((r.scores[2] - r.scores[4]).abs() < 1e-12, "sources are symmetric");
+        assert!(
+            (r.scores[2] - r.scores[4]).abs() < 1e-12,
+            "sources are symmetric"
+        );
     }
 
     #[test]
@@ -272,7 +291,10 @@ mod tests {
     #[test]
     fn zero_alpha_is_uniform() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
-        let cfg = PageRankConfig { follow_prob: 0.0, ..Default::default() };
+        let cfg = PageRankConfig {
+            follow_prob: 0.0,
+            ..Default::default()
+        };
         let r = pagerank(&g, &cfg);
         for &s in &r.scores {
             assert!((s - 0.25).abs() < 1e-12);
@@ -286,7 +308,10 @@ mod tests {
         let prob = pagerank(&g, &PageRankConfig::default());
         let per_page = pagerank(
             &g,
-            &PageRankConfig { scale: ScoreScale::PerPage, ..Default::default() },
+            &PageRankConfig {
+                scale: ScoreScale::PerPage,
+                ..Default::default()
+            },
         );
         for (a, b) in prob.scores.iter().zip(&per_page.scores) {
             assert!((a * 8.0 - b).abs() < 1e-9);
@@ -298,7 +323,21 @@ mod tests {
 
     #[test]
     fn residuals_decrease_geometrically() {
-        let g = CsrGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (5, 0), (6, 1), (7, 2), (8, 3), (9, 4)]);
+        let g = CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 0),
+                (6, 1),
+                (7, 2),
+                (8, 3),
+                (9, 4),
+            ],
+        );
         let r = pagerank(&g, &PageRankConfig::default());
         assert!(r.converged);
         // residual roughly shrinks by alpha each iteration
@@ -314,7 +353,11 @@ mod tests {
         // Asymmetric graph (a cycle would start at its own fixed point
         // and converge immediately).
         let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 2), (3, 0), (4, 3)]);
-        let cfg = PageRankConfig { max_iterations: 3, tolerance: 1e-30, ..Default::default() };
+        let cfg = PageRankConfig {
+            max_iterations: 3,
+            tolerance: 1e-30,
+            ..Default::default()
+        };
         let r = pagerank(&g, &cfg);
         assert_eq!(r.iterations, 3);
         assert!(!r.converged);
@@ -345,7 +388,10 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(77);
         let g = barabasi_albert(2000, 3, &mut rng);
-        let cfg = PageRankConfig { tolerance: 1e-11, ..Default::default() };
+        let cfg = PageRankConfig {
+            tolerance: 1e-11,
+            ..Default::default()
+        };
         let cold = pagerank(&g, &cfg);
         // perturb the graph slightly: a few extra links from low-degree
         // late nodes (touching hub out-degrees would redistribute a big

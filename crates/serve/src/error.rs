@@ -1,0 +1,63 @@
+//! Serving-layer error type.
+
+use qrank_core::CoreError;
+use qrank_graph::GraphError;
+
+/// Anything that can go wrong in the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying graph mutation or snapshot error.
+    Graph(GraphError),
+    /// Underlying estimation-pipeline error.
+    Core(CoreError),
+    /// Invalid serving configuration.
+    Config(String),
+    /// Malformed delta file or protocol input.
+    Parse(String),
+    /// A delta referenced a page the engine has never seen.
+    UnknownPage(u64),
+    /// Socket or file I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Graph(e) => write!(f, "graph error: {e}"),
+            ServeError::Core(e) => write!(f, "pipeline error: {e}"),
+            ServeError::Config(msg) => write!(f, "bad configuration: {msg}"),
+            ServeError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ServeError::UnknownPage(p) => write!(f, "unknown page id {p}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Graph(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ServeError {
+    fn from(e: GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

@@ -1,0 +1,66 @@
+//! # qrank-serve — a long-running quality-score service
+//!
+//! The paper's estimator is a batch computation; this crate turns it into
+//! something you can query. Three layers:
+//!
+//! * **Score store** ([`store`]) — an immutable, atomically-swappable
+//!   generation of per-page `{quality, pagerank, trend}` built from a
+//!   [`qrank_core::PipelineReport`], with a precomputed quality ordering
+//!   for `topk`.
+//! * **Refresh worker** ([`refresh`]) — ingests edge deltas into a
+//!   [`qrank_graph::DynamicGraph`], re-ranks the snapshot window with
+//!   warm-started solves (reusing the previous generation's trajectory
+//!   columns when the window only grew), and publishes new store
+//!   generations without ever blocking readers.
+//! * **Front end** ([`server`]) — a fixed-size thread-pool TCP server
+//!   speaking a line-delimited JSON protocol (`score <page>`,
+//!   `topk <n>`, `stats`, `health`), with an LRU cache for `topk`
+//!   responses, per-request latency counters, and draining shutdown.
+//!
+//! [`loadgen`] is the matching closed-loop load generator behind
+//! `qrank bench-load`.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use qrank_serve::{serve, RefreshEngine, RefreshConfig, ServerConfig, StoreHandle};
+//! # fn series() -> qrank_graph::SnapshotSeries { unimplemented!() }
+//!
+//! let handle = Arc::new(StoreHandle::new());
+//! let engine =
+//!     RefreshEngine::from_series(&series(), RefreshConfig::default(), Arc::clone(&handle))
+//!         .unwrap();
+//! let (refresh_tx, refresh_join) = qrank_serve::spawn_refresh_worker(engine);
+//! let server = serve(handle, &ServerConfig::default()).unwrap();
+//! println!("serving on {}", server.addr());
+//! // ... later:
+//! refresh_tx.send(qrank_serve::RefreshMsg::Shutdown).unwrap();
+//! refresh_join.join().unwrap();
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod json;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod refresh;
+pub mod server;
+pub mod store;
+
+pub use cache::LruCache;
+pub use error::ServeError;
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{parse_request, Request};
+pub use refresh::{
+    parse_deltas, spawn_refresh_worker, EdgeDelta, RefreshConfig, RefreshEngine, RefreshMsg,
+    RefreshStats,
+};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::{PageScores, ScoreStore, StoreHandle};

@@ -1,0 +1,263 @@
+//! Closed-loop TCP load generator for the quality-score server.
+//!
+//! Spawns one client thread per connection; each sends a configurable
+//! mix of `score`/`topk` requests and records per-request latency.
+//! Latencies are merged across connections into exact percentiles and a
+//! throughput figure — the numbers behind the `qrank bench-load` JSON
+//! report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use crate::error::ServeError;
+use crate::json::Obj;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Requests sent per connection.
+    pub requests_per_connection: usize,
+    /// Pipeline depth: how many requests are in flight per connection
+    /// before reading responses. Depth 1 is strict request/response;
+    /// deeper pipelines trade per-request latency accuracy (batch time is
+    /// split evenly) for throughput.
+    pub pipeline: usize,
+    /// Every `topk_every`-th request is `topk topk_k` (0 = scores only).
+    pub topk_every: usize,
+    /// `k` used for topk requests.
+    pub topk_k: usize,
+    /// Page ids are sampled uniformly from `0..max_page`.
+    pub max_page: u64,
+    /// Sampling seed (deterministic per connection).
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            connections: 4,
+            requests_per_connection: 2_500,
+            pipeline: 8,
+            topk_every: 10,
+            topk_k: 10,
+            max_page: 1_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Aggregated load-test results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Connections used.
+    pub connections: usize,
+    /// Total requests answered.
+    pub requests: u64,
+    /// Responses with `"ok":false` (e.g. unknown pages).
+    pub errors: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed_seconds: f64,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Mean per-request latency in microseconds.
+    pub mean_us: f64,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency in microseconds.
+    pub p99_us: f64,
+}
+
+impl LoadReport {
+    /// Render the report as one JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .int("connections", self.connections as u64)
+            .int("requests", self.requests)
+            .int("errors", self.errors)
+            .num("elapsed_seconds", self.elapsed_seconds)
+            .num("throughput_rps", self.throughput_rps)
+            .num("mean_us", self.mean_us)
+            .num("p50_us", self.p50_us)
+            .num("p99_us", self.p99_us)
+            .finish()
+    }
+}
+
+/// SplitMix64 — deterministic page sampling without external crates.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The request mix for one connection, as wire lines.
+fn request_line(cfg: &LoadConfig, rng: &mut u64, index: usize) -> String {
+    if cfg.topk_every > 0 && index % cfg.topk_every == cfg.topk_every - 1 {
+        format!("topk {}\n", cfg.topk_k)
+    } else {
+        format!("score {}\n", splitmix64(rng) % cfg.max_page.max(1))
+    }
+}
+
+struct ConnResult {
+    latencies_ns: Vec<u64>,
+    errors: u64,
+}
+
+fn run_connection(cfg: &LoadConfig, conn_index: usize) -> Result<ConnResult, ServeError> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut rng = cfg.seed ^ (conn_index as u64).wrapping_mul(0x5851_f42d_4c95_7f2d);
+    let mut latencies_ns = Vec::with_capacity(cfg.requests_per_connection);
+    let mut errors = 0u64;
+    let mut response = String::new();
+    let depth = cfg.pipeline.max(1);
+    let mut sent = 0usize;
+    while sent < cfg.requests_per_connection {
+        let batch = depth.min(cfg.requests_per_connection - sent);
+        let mut outgoing = String::new();
+        for i in 0..batch {
+            outgoing.push_str(&request_line(cfg, &mut rng, sent + i));
+        }
+        let started = Instant::now();
+        writer.write_all(outgoing.as_bytes())?;
+        for _ in 0..batch {
+            response.clear();
+            if reader.read_line(&mut response)? == 0 {
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-run",
+                )));
+            }
+            if response.starts_with(r#"{"ok":false"#) {
+                errors += 1;
+            }
+        }
+        let per_request = started.elapsed().as_nanos() as u64 / batch as u64;
+        latencies_ns.extend(std::iter::repeat_n(per_request, batch));
+        sent += batch;
+    }
+    Ok(ConnResult {
+        latencies_ns,
+        errors,
+    })
+}
+
+/// Run the load test and aggregate the results.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
+    if cfg.connections == 0 || cfg.requests_per_connection == 0 {
+        return Err(ServeError::Config(
+            "need at least one connection and one request".into(),
+        ));
+    }
+    let started = Instant::now();
+    let results: Vec<Result<ConnResult, ServeError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|i| s.spawn(move || run_connection(cfg, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed_seconds = started.elapsed().as_secs_f64();
+    let mut latencies_ns = Vec::new();
+    let mut errors = 0u64;
+    for r in results {
+        let r = r?;
+        latencies_ns.extend(r.latencies_ns);
+        errors += r.errors;
+    }
+    latencies_ns.sort_unstable();
+    let requests = latencies_ns.len() as u64;
+    let percentile = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * requests as f64).ceil() as usize).clamp(1, latencies_ns.len());
+        latencies_ns[rank - 1] as f64 / 1_000.0
+    };
+    let mean_us = if requests == 0 {
+        0.0
+    } else {
+        latencies_ns.iter().sum::<u64>() as f64 / requests as f64 / 1_000.0
+    };
+    Ok(LoadReport {
+        connections: cfg.connections,
+        requests,
+        errors,
+        elapsed_seconds,
+        throughput_rps: requests as f64 / elapsed_seconds,
+        mean_us,
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_to_json() {
+        let report = LoadReport {
+            connections: 2,
+            requests: 100,
+            errors: 1,
+            elapsed_seconds: 0.5,
+            throughput_rps: 200.0,
+            mean_us: 12.5,
+            p50_us: 10.0,
+            p99_us: 40.0,
+        };
+        let json = report.to_json();
+        assert!(json.contains(r#""throughput_rps":200"#), "{json}");
+        assert!(json.contains(r#""requests":100"#), "{json}");
+    }
+
+    #[test]
+    fn request_mix_interleaves_topk() {
+        let cfg = LoadConfig {
+            topk_every: 3,
+            topk_k: 7,
+            max_page: 10,
+            ..Default::default()
+        };
+        let mut rng = 1u64;
+        let lines: Vec<String> = (0..6).map(|i| request_line(&cfg, &mut rng, i)).collect();
+        assert!(lines[2].starts_with("topk 7"));
+        assert!(lines[5].starts_with("topk 7"));
+        assert!(lines.iter().enumerate().all(|(i, l)| if i % 3 == 2 {
+            l.starts_with("topk")
+        } else {
+            l.starts_with("score ")
+        }));
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut a = 9u64;
+        let mut b = 9u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut b) + 1);
+    }
+
+    #[test]
+    fn rejects_empty_load() {
+        let cfg = LoadConfig {
+            connections: 0,
+            ..Default::default()
+        };
+        assert!(matches!(run_load(&cfg), Err(ServeError::Config(_))));
+    }
+}

@@ -1,0 +1,202 @@
+//! The line-delimited request/response protocol.
+//!
+//! Requests are single lines of whitespace-separated words; responses are
+//! single lines of JSON, always carrying an `"ok"` field:
+//!
+//! ```text
+//! > score 42
+//! < {"ok":true,"page":42,"quality":1.23,"pagerank":1.1,"trend":"increasing","generation":3}
+//! > topk 2
+//! < {"ok":true,"generation":3,"k":2,"pages":[{...},{...}]}
+//! > stats
+//! < {"ok":true,"generation":3,"pages":100000,"requests":512,...}
+//! > health
+//! < {"ok":true,"status":"serving","generation":3,"pages":100000}
+//! ```
+//!
+//! Parsing and rendering are pure functions so they are testable without
+//! a socket; `server` wires them to TCP.
+
+use qrank_core::Trend;
+use qrank_graph::PageId;
+
+use crate::json::{array, Obj};
+use crate::metrics::MetricsSnapshot;
+use crate::store::{PageScores, ScoreStore};
+
+/// Largest `k` a `topk` request may ask for (keeps one response line
+/// bounded; clients page beyond this).
+pub const MAX_TOPK: usize = 10_000;
+
+/// A parsed client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// `score <page>` — one page's scores.
+    Score(u64),
+    /// `topk <n>` — the n highest-quality pages.
+    TopK(usize),
+    /// `stats` — serving counters.
+    Stats,
+    /// `health` — liveness / readiness probe.
+    Health,
+}
+
+/// Parse one request line (already stripped of its newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    match fields.as_slice() {
+        ["score", page] => page
+            .parse::<u64>()
+            .map(Request::Score)
+            .map_err(|_| format!("bad page id {page:?}")),
+        ["topk", n] => match n.parse::<usize>() {
+            Ok(k) if (1..=MAX_TOPK).contains(&k) => Ok(Request::TopK(k)),
+            Ok(_) => Err(format!("topk k must be in 1..={MAX_TOPK}")),
+            Err(_) => Err(format!("bad topk count {n:?}")),
+        },
+        ["stats"] => Ok(Request::Stats),
+        ["health"] => Ok(Request::Health),
+        [] => Err("empty request".to_string()),
+        [verb, ..] => Err(format!(
+            "unknown command {verb:?} (try: score/topk/stats/health)"
+        )),
+    }
+}
+
+/// Wire name of a trend classification.
+pub fn trend_name(t: Trend) -> &'static str {
+    match t {
+        Trend::Increasing => "increasing",
+        Trend::Decreasing => "decreasing",
+        Trend::Oscillating => "oscillating",
+        Trend::Flat => "flat",
+    }
+}
+
+fn page_obj(page: PageId, s: &PageScores) -> String {
+    Obj::new()
+        .int("page", page.0)
+        .num("quality", s.quality)
+        .num("pagerank", s.pagerank)
+        .str("trend", trend_name(s.trend))
+        .finish()
+}
+
+/// Render a `score` response.
+pub fn render_score(store: &ScoreStore, page: u64) -> String {
+    match store.score(PageId(page)) {
+        Some(s) => Obj::new()
+            .bool("ok", true)
+            .int("page", page)
+            .num("quality", s.quality)
+            .num("pagerank", s.pagerank)
+            .str("trend", trend_name(s.trend))
+            .int("generation", store.generation())
+            .finish(),
+        None => render_error(&format!("unknown page {page}")),
+    }
+}
+
+/// Render a `topk` response.
+pub fn render_topk(store: &ScoreStore, k: usize) -> String {
+    let rows = store.topk(k);
+    Obj::new()
+        .bool("ok", true)
+        .int("generation", store.generation())
+        .int("k", rows.len() as u64)
+        .raw("pages", &array(rows.iter().map(|(p, s)| page_obj(*p, s))))
+        .finish()
+}
+
+/// Render a `stats` response.
+pub fn render_stats(store: &ScoreStore, m: &MetricsSnapshot) -> String {
+    Obj::new()
+        .bool("ok", true)
+        .int("generation", store.generation())
+        .int("pages", store.len() as u64)
+        .num("snapshot_time", store.snapshot_time())
+        .int("requests", m.requests)
+        .int("errors", m.errors)
+        .int("cache_hits", m.cache_hits)
+        .int("cache_misses", m.cache_misses)
+        .num("cache_hit_rate", m.cache_hit_rate())
+        .num("mean_latency_us", m.mean_latency_us)
+        .num("p50_us", m.p50_us)
+        .num("p99_us", m.p99_us)
+        .num("uptime_seconds", m.uptime_seconds)
+        .finish()
+}
+
+/// Render a `health` response (`"empty"` until the first generation is
+/// published, `"serving"` after).
+pub fn render_health(store: &ScoreStore) -> String {
+    Obj::new()
+        .bool("ok", true)
+        .str(
+            "status",
+            if store.generation() == 0 {
+                "empty"
+            } else {
+                "serving"
+            },
+        )
+        .int("generation", store.generation())
+        .int("pages", store.len() as u64)
+        .finish()
+}
+
+/// Render an error response.
+pub fn render_error(msg: &str) -> String {
+    Obj::new().bool("ok", false).str("error", msg).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn parses_all_verbs() {
+        assert_eq!(parse_request("score 42"), Ok(Request::Score(42)));
+        assert_eq!(parse_request("  topk 5  "), Ok(Request::TopK(5)));
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("health"), Ok(Request::Health));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("score").is_err());
+        assert!(parse_request("score x").is_err());
+        assert!(parse_request("topk 0").is_err());
+        assert!(parse_request("topk 999999999").is_err());
+        assert!(parse_request("flush all").is_err());
+    }
+
+    #[test]
+    fn renders_against_empty_store() {
+        let store = ScoreStore::empty();
+        assert_eq!(
+            render_score(&store, 7),
+            r#"{"ok":false,"error":"unknown page 7"}"#
+        );
+        let topk = render_topk(&store, 3);
+        assert!(
+            topk.contains(r#""k":0"#) && topk.contains(r#""pages":[]"#),
+            "{topk}"
+        );
+        let health = render_health(&store);
+        assert!(health.contains(r#""status":"empty""#), "{health}");
+        let stats = render_stats(&store, &Metrics::new().snapshot());
+        assert!(
+            stats.contains(r#""ok":true"#) && stats.contains(r#""requests":0"#),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn trend_names_are_stable() {
+        assert_eq!(trend_name(Trend::Increasing), "increasing");
+        assert_eq!(trend_name(Trend::Flat), "flat");
+    }
+}

@@ -1,0 +1,676 @@
+//! Incremental re-ranking: edge deltas in, score generations out.
+//!
+//! The refresh worker owns a [`DynamicGraph`] plus a sliding window of
+//! snapshots. Each ingested [`EdgeDelta`] appends graph events, captures
+//! a new snapshot, recomputes quality estimates, and publishes a fresh
+//! [`ScoreStore`] generation — all off the request path.
+//!
+//! ## Equivalence with the cold pipeline
+//!
+//! `qrank_core::run_pipeline` warm-starts each snapshot's PageRank from
+//! the previous snapshot's vector (see
+//! [`qrank_core::trajectory::compute_trajectories`]). The engine exploits
+//! this: when a delta only *appends* a snapshot (same common page set,
+//! unchanged time prefix) the cached trajectory columns are exactly what
+//! a cold run would recompute, so only the newest column is solved —
+//! warm-started from the cached last column — and the resulting report is
+//! **bitwise identical** to running the full pipeline from scratch. Any
+//! other shape (window slide, page-set change) falls back to a full
+//! recompute, which is itself the cold path. Either way readers can never
+//! tell the difference; the e2e test asserts agreement to 1e-9.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use qrank_core::{
+    report_from_trajectories, trajectory::compute_trajectories, PaperEstimator, PopularityMetric,
+    PopularityTrajectories,
+};
+use qrank_graph::{DynamicGraph, NodeId, PageId, Snapshot, SnapshotSeries};
+
+use crate::error::ServeError;
+use crate::store::{ScoreStore, StoreHandle};
+
+/// A batch of link-structure changes observed at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeDelta {
+    /// Observation time (simulator clock; must be non-decreasing across
+    /// ingested deltas).
+    pub time: f64,
+    /// Pages created without any links yet. Pages referenced by `added`
+    /// are created implicitly; listing them here is only needed for
+    /// isolated births.
+    pub new_pages: Vec<u64>,
+    /// Links that appeared, as `(source page, target page)`.
+    pub added: Vec<(u64, u64)>,
+    /// Links that disappeared. Both endpoints must already be known.
+    pub removed: Vec<(u64, u64)>,
+}
+
+impl EdgeDelta {
+    /// An empty delta at `time`.
+    pub fn at(time: f64) -> Self {
+        EdgeDelta {
+            time,
+            ..Default::default()
+        }
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.new_pages.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Refresh-worker configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshConfig {
+    /// Popularity metric (default: the paper's PageRank setup, which the
+    /// engine solves warm-started from the previous snapshot).
+    pub metric: PopularityMetric,
+    /// Equation 1 constant `C` (paper: 0.1).
+    pub c: f64,
+    /// Per-step flatness tolerance for trend classification.
+    pub flat_tolerance: f64,
+    /// Report filter threshold (paper: 0.05).
+    pub min_relative_change: f64,
+    /// Maximum snapshots kept in the estimation window (≥ 3; the paper
+    /// uses 4). Older snapshots slide out.
+    pub max_window: usize,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            metric: PopularityMetric::paper_pagerank(),
+            c: 0.1,
+            flat_tolerance: 0.0,
+            min_relative_change: 0.05,
+            max_window: 4,
+        }
+    }
+}
+
+/// What one successful rerank produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshStats {
+    /// Generation number just published.
+    pub generation: u64,
+    /// Pages in the published store (the window's common page set).
+    pub num_pages: usize,
+    /// Snapshots in the estimation window (including the held-out one).
+    pub window: usize,
+    /// Whether the incremental single-column fast path applied.
+    pub fast_path: bool,
+}
+
+/// The incremental re-ranking engine.
+///
+/// Single-owner (typically a dedicated worker thread); publishes results
+/// through a shared [`StoreHandle`] so the request path never waits on a
+/// rerank.
+#[derive(Debug)]
+pub struct RefreshEngine {
+    cfg: RefreshConfig,
+    graph: DynamicGraph,
+    node_of_page: HashMap<u64, NodeId>,
+    page_of_node: Vec<u64>,
+    alive_edges: BTreeSet<(u64, u64)>,
+    series: SnapshotSeries,
+    cached: Option<PopularityTrajectories>,
+    handle: Arc<StoreHandle>,
+    generation: u64,
+}
+
+impl RefreshEngine {
+    /// An empty engine publishing through `handle`.
+    pub fn new(cfg: RefreshConfig, handle: Arc<StoreHandle>) -> Result<Self, ServeError> {
+        if cfg.max_window < 3 {
+            return Err(ServeError::Config(format!(
+                "max_window must be >= 3 (estimation window + held-out future), got {}",
+                cfg.max_window
+            )));
+        }
+        Ok(RefreshEngine {
+            cfg,
+            graph: DynamicGraph::new(),
+            node_of_page: HashMap::new(),
+            page_of_node: Vec::new(),
+            alive_edges: BTreeSet::new(),
+            series: SnapshotSeries::new(),
+            cached: None,
+            handle,
+            generation: 0,
+        })
+    }
+
+    /// Seed an engine from an existing snapshot series (e.g. loaded from
+    /// disk or produced by the simulator's crawler), then rerank once.
+    ///
+    /// Snapshots are replayed as deltas, so subsequent ingests continue
+    /// seamlessly from the last snapshot's time.
+    pub fn from_series(
+        series: &SnapshotSeries,
+        cfg: RefreshConfig,
+        handle: Arc<StoreHandle>,
+    ) -> Result<Self, ServeError> {
+        let mut engine = Self::new(cfg, handle)?;
+        for snap in series.snapshots() {
+            let delta = engine.delta_from_snapshot(snap);
+            engine.apply_delta(&delta)?;
+            engine.push_snapshot(snap.time)?;
+        }
+        engine.rerank()?;
+        Ok(engine)
+    }
+
+    /// The handle this engine publishes through.
+    pub fn handle(&self) -> Arc<StoreHandle> {
+        Arc::clone(&self.handle)
+    }
+
+    /// Generation of the most recent publish (0 before the first).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The current snapshot window.
+    pub fn series(&self) -> &SnapshotSeries {
+        &self.series
+    }
+
+    /// Total pages ever observed (the dynamic graph's node count).
+    pub fn num_pages(&self) -> usize {
+        self.page_of_node.len()
+    }
+
+    /// Diff `snap` against the engine's current state, producing the
+    /// delta that replays it.
+    fn delta_from_snapshot(&self, snap: &Snapshot) -> EdgeDelta {
+        let mut delta = EdgeDelta::at(snap.time);
+        for p in &snap.pages {
+            if !self.node_of_page.contains_key(&p.0) {
+                delta.new_pages.push(p.0);
+            }
+        }
+        let now: BTreeSet<(u64, u64)> = snap
+            .graph
+            .edges()
+            .map(|(s, d)| (snap.pages[s as usize].0, snap.pages[d as usize].0))
+            .collect();
+        delta.added = now.difference(&self.alive_edges).copied().collect();
+        delta.removed = self.alive_edges.difference(&now).copied().collect();
+        delta
+    }
+
+    fn ensure_page(&mut self, page: u64, at: f64) -> Result<NodeId, ServeError> {
+        if let Some(&n) = self.node_of_page.get(&page) {
+            return Ok(n);
+        }
+        let n = self.graph.add_node(at)?;
+        self.node_of_page.insert(page, n);
+        self.page_of_node.push(page);
+        Ok(n)
+    }
+
+    fn node(&self, page: u64) -> Result<NodeId, ServeError> {
+        self.node_of_page
+            .get(&page)
+            .copied()
+            .ok_or(ServeError::UnknownPage(page))
+    }
+
+    /// Append a delta's events to the dynamic graph (no snapshot yet).
+    pub fn apply_delta(&mut self, delta: &EdgeDelta) -> Result<(), ServeError> {
+        for &p in &delta.new_pages {
+            self.ensure_page(p, delta.time)?;
+        }
+        for &(s, d) in &delta.added {
+            let sn = self.ensure_page(s, delta.time)?;
+            let dn = self.ensure_page(d, delta.time)?;
+            self.graph.add_edge(sn, dn, delta.time)?;
+            self.alive_edges.insert((s, d));
+        }
+        for &(s, d) in &delta.removed {
+            let sn = self.node(s)?;
+            let dn = self.node(d)?;
+            self.graph.remove_edge(sn, dn, delta.time)?;
+            self.alive_edges.remove(&(s, d));
+        }
+        Ok(())
+    }
+
+    /// Capture the graph at `t` as a snapshot and slide the window.
+    pub fn push_snapshot(&mut self, t: f64) -> Result<(), ServeError> {
+        let (g, alive) = self.graph.snapshot_at(t);
+        let pages: Vec<PageId> = alive
+            .iter()
+            .map(|&n| PageId(self.page_of_node[n as usize]))
+            .collect();
+        self.series.push(Snapshot::new(t, g, pages)?)?;
+        while self.series.len() > self.cfg.max_window {
+            let mut slid = SnapshotSeries::new();
+            for old in &self.series.snapshots()[1..] {
+                slid.push(old.clone())?;
+            }
+            self.series = slid;
+        }
+        Ok(())
+    }
+
+    /// Recompute quality estimates over the current window and publish a
+    /// new store generation.
+    ///
+    /// Returns `Ok(None)` while the window holds fewer than three
+    /// snapshots (nothing publishable yet). Uses the cached-column fast
+    /// path when the window only grew; otherwise recomputes from scratch.
+    pub fn rerank(&mut self) -> Result<Option<RefreshStats>, ServeError> {
+        if self.series.is_empty() {
+            return Ok(None);
+        }
+        let aligned = self.series.aligned_to_common()?;
+        if aligned.snapshots()[0].num_pages() == 0 {
+            return Err(ServeError::Config(
+                "no pages common to the snapshot window".into(),
+            ));
+        }
+        let times = aligned.times();
+        let n_snap = aligned.len();
+        let mut fast_path = false;
+        let traj = match &self.cached {
+            // Fast path: the previous trajectories are an exact prefix —
+            // same common pages, same leading times — so only the newest
+            // column needs solving, warm-started like the cold path would.
+            Some(prev)
+                if n_snap == prev.num_snapshots() + 1
+                    && prev.pages == aligned.snapshots()[0].pages
+                    && times[..prev.num_snapshots()] == prev.times[..] =>
+            {
+                fast_path = true;
+                let warm: Vec<f64> = prev
+                    .values
+                    .iter()
+                    .map(|v| *v.last().expect("non-empty"))
+                    .collect();
+                let newest = aligned.snapshots().last().expect("non-empty series");
+                let scores = self.cfg.metric.compute_warm(&newest.graph, Some(&warm));
+                let mut values = prev.values.clone();
+                for (row, &s) in values.iter_mut().zip(&scores) {
+                    row.push(s);
+                }
+                PopularityTrajectories {
+                    times,
+                    values,
+                    pages: prev.pages.clone(),
+                }
+            }
+            _ => compute_trajectories(&aligned, &self.cfg.metric)?,
+        };
+        if n_snap < 3 {
+            self.cached = Some(traj);
+            return Ok(None);
+        }
+        let estimator = PaperEstimator {
+            c: self.cfg.c,
+            flat_tolerance: self.cfg.flat_tolerance,
+        };
+        let report = report_from_trajectories(&traj, &estimator, self.cfg.min_relative_change)?;
+        self.generation += 1;
+        let snapshot_time = *traj.times.last().expect("non-empty window");
+        let store = ScoreStore::from_report(&report, self.generation, snapshot_time);
+        let stats = RefreshStats {
+            generation: self.generation,
+            num_pages: store.len(),
+            window: n_snap,
+            fast_path,
+        };
+        self.handle.publish(store);
+        self.cached = Some(traj);
+        Ok(Some(stats))
+    }
+
+    /// Apply a delta, snapshot at its time, and rerank — the worker's
+    /// per-message unit of work.
+    pub fn ingest(&mut self, delta: &EdgeDelta) -> Result<Option<RefreshStats>, ServeError> {
+        self.apply_delta(delta)?;
+        self.push_snapshot(delta.time)?;
+        self.rerank()
+    }
+}
+
+/// Parse a delta file into a list of [`EdgeDelta`]s.
+///
+/// Line-oriented format (`#` starts a comment):
+///
+/// ```text
+/// page 7         # create page 7 (isolated)
+/// + 3 7          # link page 3 -> page 7
+/// - 2 5          # remove link page 2 -> page 5
+/// commit 4.5     # close the delta, observed at t = 4.5
+/// ```
+///
+/// Every delta must end with a `commit`; a trailing uncommitted delta is
+/// an error (it usually means a truncated file).
+pub fn parse_deltas(text: &str) -> Result<Vec<EdgeDelta>, ServeError> {
+    let mut out = Vec::new();
+    let mut cur = EdgeDelta::at(f64::NAN);
+    let mut dirty = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |msg: String| ServeError::Parse(format!("line {}: {msg}", lineno + 1));
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let page_arg = |i: usize| -> Result<u64, ServeError> {
+            fields
+                .get(i)
+                .and_then(|f| f.parse::<u64>().ok())
+                .ok_or_else(|| fail(format!("expected page id, got {line:?}")))
+        };
+        match fields[0] {
+            "page" if fields.len() == 2 => {
+                cur.new_pages.push(page_arg(1)?);
+                dirty = true;
+            }
+            "+" if fields.len() == 3 => {
+                cur.added.push((page_arg(1)?, page_arg(2)?));
+                dirty = true;
+            }
+            "-" if fields.len() == 3 => {
+                cur.removed.push((page_arg(1)?, page_arg(2)?));
+                dirty = true;
+            }
+            "commit" if fields.len() == 2 => {
+                let t: f64 = fields[1]
+                    .parse()
+                    .map_err(|_| fail(format!("bad commit time {:?}", fields[1])))?;
+                if !t.is_finite() {
+                    return Err(fail("commit time must be finite".into()));
+                }
+                cur.time = t;
+                out.push(std::mem::replace(&mut cur, EdgeDelta::at(f64::NAN)));
+                dirty = false;
+            }
+            verb => {
+                return Err(fail(format!("unrecognized directive {verb:?}")));
+            }
+        }
+    }
+    if dirty {
+        return Err(ServeError::Parse(
+            "trailing delta without a commit line".into(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Messages accepted by the refresh worker thread.
+#[derive(Debug)]
+pub enum RefreshMsg {
+    /// Ingest a delta (apply, snapshot, rerank, publish).
+    Delta(EdgeDelta),
+    /// Rerank the current window without new data.
+    Rerank,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Spawn the refresh worker thread; send it [`RefreshMsg`]s through the
+/// returned channel. Joining the handle returns the engine plus any
+/// per-message errors encountered (the worker never dies on a bad delta).
+pub fn spawn_refresh_worker(
+    mut engine: RefreshEngine,
+) -> (Sender<RefreshMsg>, JoinHandle<(RefreshEngine, Vec<String>)>) {
+    let (tx, rx): (Sender<RefreshMsg>, Receiver<RefreshMsg>) = channel();
+    let handle = std::thread::spawn(move || {
+        let mut errors = Vec::new();
+        while let Ok(msg) = rx.recv() {
+            let outcome = match msg {
+                RefreshMsg::Delta(delta) => engine.ingest(&delta),
+                RefreshMsg::Rerank => engine.rerank(),
+                RefreshMsg::Shutdown => break,
+            };
+            if let Err(e) = outcome {
+                errors.push(e.to_string());
+            }
+        }
+        (engine, errors)
+    });
+    (tx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrank_core::{run_pipeline, PipelineConfig};
+    use qrank_graph::CsrGraph;
+
+    fn seed_series(snapshots: usize) -> SnapshotSeries {
+        let pages: Vec<PageId> = (0..6).map(PageId).collect();
+        let base = vec![(3u32, 2u32), (4, 2), (5, 2), (2, 0), (0, 2), (1, 0)];
+        let riser: Vec<(u32, u32)> = vec![(3, 1), (4, 1), (5, 1), (0, 1), (2, 1)];
+        let mut s = SnapshotSeries::new();
+        for i in 0..snapshots {
+            let mut edges = base.clone();
+            edges.extend_from_slice(&riser[..(i + 1).min(riser.len())]);
+            s.push(
+                Snapshot::new(i as f64, CsrGraph::from_edges(6, &edges), pages.clone()).unwrap(),
+            )
+            .unwrap();
+        }
+        s
+    }
+
+    fn cfg() -> RefreshConfig {
+        RefreshConfig::default()
+    }
+
+    fn assert_store_matches_cold(engine: &RefreshEngine) {
+        let pipeline_cfg = PipelineConfig::default();
+        let cold = run_pipeline(engine.series(), &pipeline_cfg).unwrap();
+        let store = engine.handle().current();
+        assert_eq!(store.len(), cold.pages.len());
+        for (i, &p) in cold.pages.iter().enumerate() {
+            let s = store.score(p).unwrap();
+            assert_eq!(s.quality, cold.estimates[i], "bitwise quality for {p}");
+            assert_eq!(s.pagerank, cold.current[i], "bitwise pagerank for {p}");
+            assert_eq!(s.trend, cold.trends[i]);
+        }
+    }
+
+    #[test]
+    fn from_series_matches_cold_pipeline() {
+        let engine =
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+                .unwrap();
+        assert_eq!(engine.generation(), 1);
+        assert_store_matches_cold(&engine);
+    }
+
+    #[test]
+    fn incremental_ingest_takes_fast_path_and_matches_cold() {
+        let mut engine =
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+                .unwrap();
+        let delta = EdgeDelta {
+            time: 3.0,
+            added: vec![(0, 1)],
+            ..Default::default()
+        };
+        let stats = engine.ingest(&delta).unwrap().unwrap();
+        assert!(
+            stats.fast_path,
+            "append-only delta must hit the cached-column path"
+        );
+        assert_eq!(stats.generation, 2);
+        assert_eq!(stats.window, 4);
+        assert_store_matches_cold(&engine);
+    }
+
+    #[test]
+    fn window_slide_falls_back_to_full_recompute_and_matches_cold() {
+        let mut engine =
+            RefreshEngine::from_series(&seed_series(4), cfg(), Arc::new(StoreHandle::new()))
+                .unwrap();
+        // 5th snapshot slides the window: times change, fast path invalid
+        let delta = EdgeDelta {
+            time: 4.0,
+            added: vec![(2, 1)],
+            ..Default::default()
+        };
+        let stats = engine.ingest(&delta).unwrap().unwrap();
+        assert!(
+            !stats.fast_path,
+            "a slid window must recompute from scratch"
+        );
+        assert_eq!(engine.series().len(), 4, "window capped at max_window");
+        assert_eq!(engine.series().times(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_store_matches_cold(&engine);
+    }
+
+    #[test]
+    fn new_page_delta_publishes_and_matches_cold() {
+        let mut engine =
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+                .unwrap();
+        // page 6 is born with an in-link; the common set stays 0..6 so
+        // the fast path still applies
+        let delta = EdgeDelta {
+            time: 3.0,
+            added: vec![(6, 1), (0, 1)],
+            ..Default::default()
+        };
+        let stats = engine.ingest(&delta).unwrap().unwrap();
+        assert!(stats.fast_path);
+        assert_eq!(engine.num_pages(), 7);
+        // the newborn is not in the common window, hence not served yet
+        assert!(engine.handle().current().score(PageId(6)).is_none());
+        assert_store_matches_cold(&engine);
+    }
+
+    #[test]
+    fn too_small_window_returns_none() {
+        let handle = Arc::new(StoreHandle::new());
+        let mut engine = RefreshEngine::new(cfg(), Arc::clone(&handle)).unwrap();
+        let d0 = EdgeDelta {
+            time: 0.0,
+            added: vec![(0, 1), (1, 0)],
+            ..Default::default()
+        };
+        assert!(engine.ingest(&d0).unwrap().is_none());
+        let d1 = EdgeDelta {
+            time: 1.0,
+            added: vec![(0, 2), (2, 0)],
+            ..Default::default()
+        };
+        assert!(engine.ingest(&d1).unwrap().is_none());
+        assert_eq!(handle.current().generation(), 0);
+        let d2 = EdgeDelta {
+            time: 2.0,
+            added: vec![(1, 2)],
+            ..Default::default()
+        };
+        let stats = engine.ingest(&d2).unwrap().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(handle.current().generation(), 1);
+    }
+
+    #[test]
+    fn rejects_tiny_max_window_and_unknown_removals() {
+        let bad = RefreshConfig {
+            max_window: 2,
+            ..cfg()
+        };
+        assert!(matches!(
+            RefreshEngine::new(bad, Arc::new(StoreHandle::new())),
+            Err(ServeError::Config(_))
+        ));
+        let mut engine = RefreshEngine::new(cfg(), Arc::new(StoreHandle::new())).unwrap();
+        let delta = EdgeDelta {
+            time: 0.0,
+            removed: vec![(1, 2)],
+            ..Default::default()
+        };
+        assert!(matches!(
+            engine.ingest(&delta),
+            Err(ServeError::UnknownPage(1))
+        ));
+    }
+
+    #[test]
+    fn parses_delta_files() {
+        let text = "\
+# two deltas
+page 9
++ 0 9
+commit 1.5
+- 0 9   # drop it again
++ 1 2
+commit 2.0
+";
+        let deltas = parse_deltas(text).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(
+            deltas[0],
+            EdgeDelta {
+                time: 1.5,
+                new_pages: vec![9],
+                added: vec![(0, 9)],
+                removed: vec![],
+            }
+        );
+        assert_eq!(deltas[1].removed, vec![(0, 9)]);
+        assert_eq!(deltas[1].time, 2.0);
+    }
+
+    #[test]
+    fn delta_parse_errors() {
+        assert!(
+            matches!(parse_deltas("+ 1 2\n"), Err(ServeError::Parse(_))),
+            "no commit"
+        );
+        assert!(matches!(
+            parse_deltas("frob 1\ncommit 1\n"),
+            Err(ServeError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_deltas("+ 1\ncommit 1\n"),
+            Err(ServeError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_deltas("commit nan\n"),
+            Err(ServeError::Parse(_))
+        ));
+        assert!(parse_deltas("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_processes_deltas_and_shuts_down() {
+        let handle = Arc::new(StoreHandle::new());
+        let engine =
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::clone(&handle)).unwrap();
+        let (tx, join) = spawn_refresh_worker(engine);
+        tx.send(RefreshMsg::Delta(EdgeDelta {
+            time: 3.0,
+            added: vec![(0, 1)],
+            ..Default::default()
+        }))
+        .unwrap();
+        // a bad delta is recorded, not fatal
+        tx.send(RefreshMsg::Delta(EdgeDelta {
+            time: 4.0,
+            removed: vec![(77, 78)],
+            ..Default::default()
+        }))
+        .unwrap();
+        tx.send(RefreshMsg::Shutdown).unwrap();
+        let (engine, errors) = join.join().unwrap();
+        assert_eq!(engine.generation(), 2);
+        assert_eq!(handle.current().generation(), 2);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("unknown page"), "{errors:?}");
+    }
+}

@@ -1,0 +1,259 @@
+//! The TCP front end: a fixed-size thread pool over a blocking listener.
+//!
+//! One acceptor thread feeds accepted connections into an MPSC queue;
+//! `workers` threads pull connections off the queue and speak the
+//! line-delimited protocol until the client hangs up. Reads carry a short
+//! timeout so workers poll the shutdown flag between requests; shutdown
+//! therefore *drains* — every fully-received request is answered before
+//! its connection closes.
+//!
+//! Score lookups go through [`StoreHandle::current`], a briefly-held read
+//! lock around an `Arc` clone, so a refresh publish never stalls the
+//! request path.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    parse_request, render_error, render_health, render_score, render_stats, render_topk, Request,
+};
+use crate::store::StoreHandle;
+
+/// How often an idle worker wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Front-end configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each handles one connection at a time).
+    pub workers: usize,
+    /// `topk` response cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// A running server; dropping it without calling
+/// [`ServerHandle::shutdown`] detaches the threads.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's live metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Signal shutdown and join every thread, draining in-flight
+    /// requests first.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // the acceptor is parked in accept(); poke it awake
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Bind and start serving `store` on `cfg.addr`; returns immediately.
+pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle, ServeError> {
+    if cfg.workers == 0 {
+        return Err(ServeError::Config("need at least one worker thread".into()));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(Metrics::new());
+    let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
+    let (conn_tx, conn_rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            // conn_tx lives here; dropping it on exit unblocks the workers
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(conn) = conn else { continue };
+                if conn_tx.send(conn).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let workers = (0..cfg.workers)
+        .map(|_| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let shutdown = Arc::clone(&shutdown);
+            let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || loop {
+                let conn = conn_rx.lock().recv();
+                match conn {
+                    Ok(conn) => serve_connection(conn, &store, &metrics, &cache, &shutdown),
+                    Err(_) => break, // acceptor exited and the queue drained
+                }
+            })
+        })
+        .collect();
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+        metrics,
+    })
+}
+
+/// Speak the protocol on one connection until EOF, error, or shutdown.
+fn serve_connection(
+    mut conn: TcpStream,
+    store: &StoreHandle,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    shutdown: &AtomicBool,
+) {
+    if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = conn.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // answer every complete line already received
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            let response = handle_request(line.trim(), store, metrics, cache);
+            if conn.write_all(response.as_bytes()).is_err() || conn.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn.read(&mut buf) {
+            Ok(0) => return, // client hung up
+            Ok(n) => pending.extend_from_slice(&buf[..n]),
+            // timeout: loop around and re-check the shutdown flag
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one request line; shared by the TCP workers and direct tests.
+pub fn handle_request(
+    line: &str,
+    store: &StoreHandle,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+) -> String {
+    let started = Instant::now();
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            metrics.record_error();
+            return render_error(&msg);
+        }
+    };
+    let current = store.current();
+    let response = match request {
+        Request::Score(page) => render_score(&current, page),
+        Request::TopK(k) => {
+            let cached = cache.lock().get(current.generation(), k);
+            match cached {
+                Some(hit) => {
+                    metrics.cache_hit();
+                    hit
+                }
+                None => {
+                    metrics.cache_miss();
+                    let rendered = render_topk(&current, k);
+                    cache.lock().put(current.generation(), k, rendered.clone());
+                    rendered
+                }
+            }
+        }
+        Request::Stats => render_stats(&current, &metrics.snapshot()),
+        Request::Health => render_health(&current),
+    };
+    metrics.record(started.elapsed().as_nanos() as u64);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_request_counts_and_caches() {
+        let store = StoreHandle::new();
+        let metrics = Metrics::new();
+        let cache = Mutex::new(LruCache::new(4));
+        let health = handle_request("health", &store, &metrics, &cache);
+        assert!(health.contains(r#""status":"empty""#));
+        let bad = handle_request("nonsense", &store, &metrics, &cache);
+        assert!(bad.contains(r#""ok":false"#));
+        let t1 = handle_request("topk 3", &store, &metrics, &cache);
+        let t2 = handle_request("topk 3", &store, &metrics, &cache);
+        assert_eq!(t1, t2);
+        let s = metrics.snapshot();
+        assert_eq!(s.requests, 3, "errors are not counted as served requests");
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let cfg = ServerConfig {
+            workers: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            serve(Arc::new(StoreHandle::new()), &cfg),
+            Err(ServeError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,288 @@
+//! End-to-end serving tests over a real localhost socket.
+//!
+//! A server is bound on an ephemeral port, a refresh worker publishes
+//! generations behind it, and a plain `TcpStream` client drives the
+//! line-delimited protocol. The key acceptance check: scores served
+//! after an incremental refresh agree with a from-scratch
+//! `qrank_core::run_pipeline` over the equivalent snapshot series to
+//! within 1e-9 relative error.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qrank_core::{run_pipeline, PipelineConfig};
+use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
+use qrank_serve::{
+    serve, spawn_refresh_worker, EdgeDelta, RefreshConfig, RefreshEngine, RefreshMsg, ScoreStore,
+    ServerConfig, StoreHandle,
+};
+
+/// The same growing 6-page web as the refresh unit tests: one page
+/// steadily gains in-links, snapshot `i` is captured at time `i`.
+fn seed_series(snapshots: usize) -> SnapshotSeries {
+    let pages: Vec<PageId> = (0..6).map(PageId).collect();
+    let base = vec![(3u32, 2u32), (4, 2), (5, 2), (2, 0), (0, 2), (1, 0)];
+    let riser: Vec<(u32, u32)> = vec![(3, 1), (4, 1), (5, 1), (0, 1), (2, 1)];
+    let mut s = SnapshotSeries::new();
+    for i in 0..snapshots {
+        let mut edges = base.clone();
+        edges.extend_from_slice(&riser[..(i + 1).min(riser.len())]);
+        s.push(Snapshot::new(i as f64, CsrGraph::from_edges(6, &edges), pages.clone()).unwrap())
+            .unwrap();
+    }
+    s
+}
+
+/// Pull a numeric field out of a one-line JSON response.
+fn json_num(line: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key:?} in {line}"))
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key:?} in {line}"));
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key:?} in {line}"))
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        self.reader
+            .read_line(&mut response)
+            .expect("server response");
+        assert!(response.ends_with('\n'), "truncated response {response:?}");
+        response.trim().to_string()
+    }
+}
+
+fn relative_diff(a: f64, b: f64) -> f64 {
+    if a == b {
+        0.0
+    } else {
+        (a - b).abs() / a.abs().max(b.abs())
+    }
+}
+
+#[test]
+fn serves_scores_topk_stats_and_refreshes_over_tcp() {
+    let handle = Arc::new(StoreHandle::new());
+    let engine = RefreshEngine::from_series(
+        &seed_series(3),
+        RefreshConfig::default(),
+        Arc::clone(&handle),
+    )
+    .unwrap();
+    let (refresh_tx, refresh_join) = spawn_refresh_worker(engine);
+    let server = serve(
+        Arc::clone(&handle),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 16,
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    // generation 1 is live
+    let health = client.request("health");
+    assert!(health.contains(r#""status":"serving""#), "{health}");
+    assert_eq!(json_num(&health, "generation"), 1.0);
+
+    // every served score matches the cold pipeline on the same series
+    let cold = run_pipeline(&seed_series(3), &PipelineConfig::default()).unwrap();
+    for (i, &page) in cold.pages.iter().enumerate() {
+        let line = client.request(&format!("score {}", page.0));
+        assert!(line.contains(r#""ok":true"#), "{line}");
+        let quality = json_num(&line, "quality");
+        assert!(
+            relative_diff(quality, cold.estimates[i]) <= 1e-9,
+            "page {page}: served {quality} vs cold {}",
+            cold.estimates[i]
+        );
+    }
+
+    // topk is sorted by quality and reflects the generation
+    let topk = client.request("topk 3");
+    assert_eq!(json_num(&topk, "k"), 3.0, "{topk}");
+    assert_eq!(json_num(&topk, "generation"), 1.0);
+    let best = cold
+        .estimates
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        relative_diff(json_num(&topk, "quality"), best) <= 1e-9,
+        "first topk row must carry the best quality: {topk}"
+    );
+
+    // stats counts the traffic so far (health + 6 scores + topk)
+    let stats = client.request("stats");
+    assert!(json_num(&stats, "requests") >= 8.0, "{stats}");
+    assert_eq!(json_num(&stats, "errors"), 0.0);
+    assert_eq!(json_num(&stats, "pages"), 6.0);
+
+    // ingest a delta; the worker publishes generation 2 without the
+    // server restarting or the client reconnecting
+    refresh_tx
+        .send(RefreshMsg::Delta(EdgeDelta {
+            time: 3.0,
+            added: vec![(0, 1)],
+            ..Default::default()
+        }))
+        .unwrap();
+    let mut generation = 0.0;
+    for _ in 0..1000 {
+        generation = json_num(&client.request("health"), "generation");
+        if generation >= 2.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(generation, 2.0, "refresh generation never became visible");
+
+    // refreshed scores agree with a full cold pipeline over 4 snapshots
+    let cold4 = run_pipeline(&seed_series(4), &PipelineConfig::default()).unwrap();
+    for (i, &page) in cold4.pages.iter().enumerate() {
+        let line = client.request(&format!("score {}", page.0));
+        let quality = json_num(&line, "quality");
+        assert!(
+            relative_diff(quality, cold4.estimates[i]) <= 1e-9,
+            "page {page} after refresh: served {quality} vs cold {}",
+            cold4.estimates[i]
+        );
+        assert_eq!(json_num(&line, "generation"), 2.0);
+    }
+
+    refresh_tx.send(RefreshMsg::Shutdown).unwrap();
+    let (engine, errors) = refresh_join.join().unwrap();
+    assert!(errors.is_empty(), "{errors:?}");
+    assert_eq!(engine.generation(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_do_not_poison_the_connection() {
+    let handle = Arc::new(StoreHandle::new());
+    let engine = RefreshEngine::from_series(
+        &seed_series(3),
+        RefreshConfig::default(),
+        Arc::clone(&handle),
+    )
+    .unwrap();
+    drop(engine); // only needed to publish generation 1
+    let server = serve(
+        Arc::clone(&handle),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            cache_capacity: 4,
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr());
+
+    let garbage = client.request("open the pod bay doors");
+    assert!(garbage.contains(r#""ok":false"#), "{garbage}");
+    let unknown = client.request("score 424242");
+    assert!(unknown.contains("unknown page 424242"), "{unknown}");
+    // the same connection still serves valid requests afterwards
+    let health = client.request("health");
+    assert!(health.contains(r#""status":"serving""#), "{health}");
+    let stats = client.request("stats");
+    assert_eq!(
+        json_num(&stats, "errors"),
+        1.0,
+        "only the parse failure counts: {stats}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_readers_make_progress_while_generations_publish() {
+    let series = seed_series(3);
+    let report = run_pipeline(&series, &PipelineConfig::default()).unwrap();
+    let handle = Arc::new(StoreHandle::with_store(ScoreStore::from_report(
+        &report, 1, 2.0,
+    )));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // writer: publish new generations as fast as possible until told to stop
+    let writer = {
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        let report = report.clone();
+        std::thread::spawn(move || {
+            let mut generation = 1;
+            while !stop.load(Ordering::Relaxed) {
+                generation += 1;
+                handle.publish(ScoreStore::from_report(&report, generation, 2.0));
+            }
+            generation
+        })
+    };
+
+    // readers: each must observe several distinct generations, and the
+    // generation sequence each sees must be monotonic (no torn stores,
+    // no going back in time). If a publish blocked readers, this would
+    // deadlock or time out rather than pass.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let handle = Arc::clone(&handle);
+            std::thread::spawn(move || {
+                let mut last = 0;
+                let mut distinct = 0;
+                for _ in 0..10_000_000 {
+                    let store = handle.current();
+                    let generation = store.generation();
+                    assert!(generation >= last, "generation went backwards");
+                    assert_eq!(store.len(), 6, "torn store observed");
+                    assert!(store.score(PageId(1)).is_some());
+                    if generation != last {
+                        distinct += 1;
+                        last = generation;
+                    }
+                    if distinct >= 5 {
+                        return distinct;
+                    }
+                }
+                distinct
+            })
+        })
+        .collect();
+
+    for reader in readers {
+        let distinct = reader.join().unwrap();
+        assert!(distinct >= 5, "reader observed only {distinct} generations");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let total = writer.join().unwrap();
+    assert!(total > 5);
+}

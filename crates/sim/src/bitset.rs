@@ -16,7 +16,10 @@ pub struct BitSet {
 impl BitSet {
     /// A bitset able to hold ids `0..capacity`, all clear.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Capacity in bits.
@@ -28,7 +31,11 @@ impl BitSet {
     #[inline]
     pub fn get(&self, i: u32) -> bool {
         let i = i as usize;
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -36,7 +43,11 @@ impl BitSet {
     #[inline]
     pub fn set(&mut self, i: u32) -> bool {
         let i = i as usize;
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let mask = 1u64 << (i % 64);
         let word = &mut self.words[i / 64];
         let was_clear = *word & mask == 0;
@@ -48,7 +59,11 @@ impl BitSet {
     #[inline]
     pub fn clear(&mut self, i: u32) -> bool {
         let i = i as usize;
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let mask = 1u64 << (i % 64);
         let word = &mut self.words[i / 64];
         let was_set = *word & mask != 0;
@@ -83,7 +98,8 @@ impl BitSet {
                 }
             }
         }
-        acc.map(|w| w.iter().map(|x| x.count_ones() as usize).sum()).unwrap_or(0)
+        acc.map(|w| w.iter().map(|x| x.count_ones() as usize).sum())
+            .unwrap_or(0)
     }
 }
 
@@ -100,7 +116,10 @@ pub struct SampleSet {
 impl SampleSet {
     /// Empty set over ids `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        SampleSet { members: Vec::new(), bits: BitSet::new(capacity) }
+        SampleSet {
+            members: Vec::new(),
+            bits: BitSet::new(capacity),
+        }
     }
 
     /// Number of members.

@@ -104,32 +104,55 @@ mod tests {
     #[test]
     #[should_panic(expected = "user")]
     fn rejects_zero_users() {
-        SimConfig { num_users: 0, ..Default::default() }.validate();
+        SimConfig {
+            num_users: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "visit_ratio")]
     fn rejects_zero_visit_ratio() {
-        SimConfig { visit_ratio: 0.0, ..Default::default() }.validate();
+        SimConfig {
+            visit_ratio: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "dt")]
     fn rejects_zero_dt() {
-        SimConfig { dt: 0.0, ..Default::default() }.validate();
+        SimConfig {
+            dt: 0.0,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "forget_rate * dt")]
     fn rejects_forget_probability_above_one() {
-        SimConfig { forget_rate: 30.0, dt: 0.1, ..Default::default() }.validate();
+        SimConfig {
+            forget_rate: 30.0,
+            dt: 0.1,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     fn serde_fields_roundtrip_via_debug() {
         // smoke check that all fields are present in the Debug output
         let s = format!("{:?}", SimConfig::default());
-        for field in ["num_users", "visit_ratio", "page_birth_rate", "forget_rate", "seed"] {
+        for field in [
+            "num_users",
+            "visit_ratio",
+            "page_birth_rate",
+            "forget_rate",
+            "seed",
+        ] {
             assert!(s.contains(field), "{field} missing from {s}");
         }
     }

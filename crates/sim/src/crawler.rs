@@ -27,7 +27,9 @@ impl SnapshotSchedule {
     /// t3 = Feb 2003 (3rd week), t4 = Jun 2003 (4th week) — roughly
     /// 0, 1, 2, and 6 months.
     pub fn paper_timeline(start: f64) -> Self {
-        SnapshotSchedule { times: vec![start, start + 1.0, start + 2.0, start + 6.0] }
+        SnapshotSchedule {
+            times: vec![start, start + 1.0, start + 2.0, start + 6.0],
+        }
     }
 
     /// Evenly spaced captures.
@@ -49,7 +51,9 @@ pub struct Crawler {
 
 impl Default for Crawler {
     fn default() -> Self {
-        Crawler { max_pages_per_site: 200_000 }
+        Crawler {
+            max_pages_per_site: 200_000,
+        }
     }
 }
 
@@ -158,7 +162,9 @@ mod tests {
     fn crawl_respects_page_cap() {
         let mut w = World::bootstrap(config()).unwrap();
         w.run_until(1.0);
-        let crawler = Crawler { max_pages_per_site: 10 };
+        let crawler = Crawler {
+            max_pages_per_site: 10,
+        };
         let snap = crawler.crawl(&w, 1.0).unwrap();
         assert!(snap.num_pages() <= 10 * 4, "cap 10 per site, 4 sites");
         assert!(snap.num_pages() >= 10, "should still capture something");
@@ -186,14 +192,20 @@ mod tests {
     fn schedule_produces_aligned_common_pages() {
         let mut w = World::bootstrap(config()).unwrap();
         let schedule = SnapshotSchedule::paper_timeline(0.5);
-        let series = Crawler::default().crawl_schedule(&mut w, &schedule).unwrap();
+        let series = Crawler::default()
+            .crawl_schedule(&mut w, &schedule)
+            .unwrap();
         assert_eq!(series.len(), 4);
         let common = series.common_pages();
         // bootstrap pages exist in all snapshots
         assert!(common.len() >= 250 + 4, "common pages {}", common.len());
         // pages born after the first snapshot are not common
         let first_count = series.snapshots()[0].num_pages();
-        assert_eq!(common.len(), first_count, "all first-snapshot pages persist");
+        assert_eq!(
+            common.len(),
+            first_count,
+            "all first-snapshot pages persist"
+        );
         let aligned = series.aligned_to_common().unwrap();
         assert!(aligned.is_aligned());
     }
@@ -205,7 +217,10 @@ mod tests {
         let snap = Crawler::default().crawl(&w, 1.0).unwrap();
         for (node, &pid) in snap.pages.iter().enumerate() {
             let p = pid.0 as u32;
-            assert!(w.page(p).created_at <= 1.0, "node {node} maps to unborn page");
+            assert!(
+                w.page(p).created_at <= 1.0,
+                "node {node} maps to unborn page"
+            );
         }
     }
 }

@@ -40,7 +40,10 @@ pub enum QualityDist {
 
 impl Default for QualityDist {
     fn default() -> Self {
-        QualityDist::Beta { alpha: 2.0, beta: 5.0 }
+        QualityDist::Beta {
+            alpha: 2.0,
+            beta: 5.0,
+        }
     }
 }
 
@@ -106,7 +109,10 @@ pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
 /// normal approximation (rounded, clamped at 0) for large `lambda` where
 /// the exact method would take O(lambda) time.
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be finite and >= 0, got {lambda}");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and >= 0, got {lambda}"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -184,14 +190,23 @@ mod tests {
         let (mean, var) = mean_var(&samples);
         let expect_mean = a / (a + b);
         let expect_var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
-        assert!((mean - expect_mean).abs() < 0.01, "mean {mean} vs {expect_mean}");
-        assert!((var - expect_var).abs() < 0.005, "var {var} vs {expect_var}");
+        assert!(
+            (mean - expect_mean).abs() < 0.01,
+            "mean {mean} vs {expect_mean}"
+        );
+        assert!(
+            (var - expect_var).abs() < 0.005,
+            "var {var} vs {expect_var}"
+        );
     }
 
     #[test]
     fn beta_with_shape_below_one() {
         let mut rng = StdRng::seed_from_u64(5);
-        let d = QualityDist::Beta { alpha: 0.5, beta: 0.5 };
+        let d = QualityDist::Beta {
+            alpha: 0.5,
+            beta: 0.5,
+        };
         let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
         let (mean, _) = mean_var(&samples);
         assert!((mean - 0.5).abs() < 0.02, "arcsine mean {mean}");
@@ -211,10 +226,18 @@ mod tests {
     fn gamma_mean_and_variance() {
         let mut rng = StdRng::seed_from_u64(7);
         for shape in [0.5, 1.0, 3.5, 10.0] {
-            let samples: Vec<f64> = (0..100_000).map(|_| sample_gamma(&mut rng, shape)).collect();
+            let samples: Vec<f64> = (0..100_000)
+                .map(|_| sample_gamma(&mut rng, shape))
+                .collect();
             let (mean, var) = mean_var(&samples);
-            assert!((mean - shape).abs() < 0.05 * shape.max(1.0), "shape {shape} mean {mean}");
-            assert!((var - shape).abs() < 0.1 * shape.max(1.0), "shape {shape} var {var}");
+            assert!(
+                (mean - shape).abs() < 0.05 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
+            assert!(
+                (var - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape} var {var}"
+            );
         }
     }
 
@@ -234,7 +257,9 @@ mod tests {
     #[test]
     fn poisson_small_lambda_moments() {
         let mut rng = StdRng::seed_from_u64(10);
-        let samples: Vec<f64> = (0..100_000).map(|_| sample_poisson(&mut rng, 2.5) as f64).collect();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| sample_poisson(&mut rng, 2.5) as f64)
+            .collect();
         let (mean, var) = mean_var(&samples);
         assert!((mean - 2.5).abs() < 0.03, "mean {mean}");
         assert!((var - 2.5).abs() < 0.1, "var {var}");
@@ -243,8 +268,9 @@ mod tests {
     #[test]
     fn poisson_large_lambda_moments() {
         let mut rng = StdRng::seed_from_u64(11);
-        let samples: Vec<f64> =
-            (0..50_000).map(|_| sample_poisson(&mut rng, 500.0) as f64).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| sample_poisson(&mut rng, 500.0) as f64)
+            .collect();
         let (mean, var) = mean_var(&samples);
         assert!((mean - 500.0).abs() < 1.0, "mean {mean}");
         assert!((var - 500.0).abs() < 20.0, "var {var}");

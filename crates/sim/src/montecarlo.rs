@@ -89,7 +89,7 @@ mod tests {
     fn monte_carlo_matches_closed_form() {
         // moderate population so the MC noise is small but the test fast
         let params = ModelParams::new(0.6, 20_000.0, 40_000.0, 0.001).unwrap();
-        let runs: Vec<_> = (0..8)
+        let runs: Vec<_> = (0..24)
             .map(|s| simulate_single_page(&params, 0.05, 8.0, 100 + s))
             .collect();
         let avg = average_trajectories(&runs);

@@ -30,7 +30,11 @@ impl Trace {
 
     /// The `(time, popularity)` series of one page.
     pub fn series(&self, page: usize) -> Vec<(f64, f64)> {
-        self.times.iter().copied().zip(self.values[page].iter().copied()).collect()
+        self.times
+            .iter()
+            .copied()
+            .zip(self.values[page].iter().copied())
+            .collect()
     }
 
     /// Restrict to pages born before the first sample time with a
@@ -137,9 +141,16 @@ mod tests {
         let late_born: Vec<usize> = (0..trace.num_pages())
             .filter(|&p| trace.created_at[p] > 0.5)
             .collect();
-        assert!(!late_born.is_empty(), "pages should be born during the trace");
+        assert!(
+            !late_born.is_empty(),
+            "pages should be born during the trace"
+        );
         for p in late_born {
-            assert_eq!(trace.values[p][0], 0.0, "page {p} born at {}", trace.created_at[p]);
+            assert_eq!(
+                trace.values[p][0], 0.0,
+                "page {p} born at {}",
+                trace.created_at[p]
+            );
         }
     }
 

@@ -143,7 +143,12 @@ impl World {
 
     fn new_page_raw(&mut self, quality: f64, site: u32, owner: u32) -> Result<u32, GraphError> {
         let id = self.links.add_node(self.time)?;
-        self.pages.push(PageInfo { quality, created_at: self.time, site, owner });
+        self.pages.push(PageInfo {
+            quality,
+            created_at: self.time,
+            site,
+            owner,
+        });
         self.aware.push(SampleSet::new(self.config.num_users));
         self.liked.push(BitSet::new(self.config.num_users));
         self.liked_count.push(0);
@@ -346,7 +351,8 @@ impl World {
     /// Advance until the clock reaches at least `t`.
     pub fn run_until(&mut self, t: f64) {
         while self.time < t {
-            self.step().expect("simulation step cannot fail after bootstrap");
+            self.step()
+                .expect("simulation step cannot fail after bootstrap");
         }
     }
 
@@ -385,7 +391,9 @@ impl World {
     /// to site-traffic measurements, which are popularity fractions
     /// rather than PageRank scores).
     pub fn popularities(&self) -> Vec<f64> {
-        (0..self.pages.len() as u32).map(|p| self.popularity(p)).collect()
+        (0..self.pages.len() as u32)
+            .map(|p| self.popularity(p))
+            .collect()
     }
 
     /// Current user awareness `A(p,t)`.
@@ -543,7 +551,11 @@ mod tests {
             ..Default::default()
         };
         let mut keep = World::bootstrap(base).unwrap();
-        let mut forget = World::bootstrap(SimConfig { forget_rate: 2.0, ..base }).unwrap();
+        let mut forget = World::bootstrap(SimConfig {
+            forget_rate: 2.0,
+            ..base
+        })
+        .unwrap();
         keep.run_until(12.0);
         forget.run_until(12.0);
         let avg = |w: &World| {
@@ -597,8 +609,11 @@ mod tests {
             ..Default::default()
         };
         let mut by_pop = World::bootstrap(base).unwrap();
-        let mut by_pr =
-            World::bootstrap(SimConfig { visit_model: VisitModel::ByPageRank, ..base }).unwrap();
+        let mut by_pr = World::bootstrap(SimConfig {
+            visit_model: VisitModel::ByPageRank,
+            ..base
+        })
+        .unwrap();
         by_pop.run_until(3.0);
         by_pr.run_until(3.0);
         // both advanced; trajectories differ (rich-get-richer vs model)
@@ -664,8 +679,7 @@ mod tests {
             let sp = w.site_popularity(site);
             assert!((0.0..=1.0).contains(&sp));
             // at least as popular as its most popular page
-            let max_page = w
-                .site_pages[site as usize]
+            let max_page = w.site_pages[site as usize]
                 .iter()
                 .map(|&p| w.popularity(p))
                 .fold(0.0f64, f64::max);

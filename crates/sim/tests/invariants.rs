@@ -6,12 +6,12 @@ use qrank_sim::{QualityDist, SimConfig, VisitModel, World};
 
 fn arbitrary_config() -> impl Strategy<Value = SimConfig> {
     (
-        50usize..300,       // users
-        1usize..8,          // sites
-        0.2f64..3.0,        // visit ratio
-        0.0f64..20.0,       // birth rate
-        0.0f64..2.0,        // forget rate
-        0u64..1000,         // seed
+        50usize..300, // users
+        1usize..8,    // sites
+        0.2f64..3.0,  // visit ratio
+        0.0f64..20.0, // birth rate
+        0.0f64..2.0,  // forget rate
+        0u64..1000,   // seed
         prop::sample::select(vec![
             VisitModel::ByPopularity,
             VisitModel::ByPageRank,
@@ -24,7 +24,16 @@ fn arbitrary_config() -> impl Strategy<Value = SimConfig> {
         ]),
     )
         .prop_map(
-            |(num_users, num_sites, visit_ratio, page_birth_rate, forget_rate, seed, visit_model, quality_dist)| {
+            |(
+                num_users,
+                num_sites,
+                visit_ratio,
+                page_birth_rate,
+                forget_rate,
+                seed,
+                visit_model,
+                quality_dist,
+            )| {
                 SimConfig {
                     num_users,
                     num_sites,

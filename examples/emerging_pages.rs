@@ -39,9 +39,17 @@ fn main() {
     // Let the established web mature, then measure over the paper's
     // four-snapshot timeline.
     let schedule = SnapshotSchedule::paper_timeline(10.0);
-    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
-    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
-        .expect("pipeline");
+    let series = Crawler::default()
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl");
+    let report = run_pipeline(
+        &series,
+        &PipelineConfig {
+            c: 1.0,
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
 
     // "Emerging gems": pages born in the 3 months before the first
     // snapshot with top-tier quality.
@@ -74,7 +82,10 @@ fn main() {
     let by_future = rank_order(&report.future);
 
     let n = report.pages.len() as f64;
-    println!("mean rank of the emerging gems (0 = best, {} pages):", report.pages.len());
+    println!(
+        "mean rank of the emerging gems (0 = best, {} pages):",
+        report.pages.len()
+    );
     println!(
         "  by current PageRank (t3):    {:>7.1}  (percentile {:.0}%)",
         mean_rank(&by_pr, &gems),

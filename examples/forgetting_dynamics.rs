@@ -20,9 +20,16 @@ fn main() {
     let visit_ratio = 1.5;
     let users = 3_000;
 
-    println!("forgetting dynamics: Q = {quality}, forget rate = {forget_rate}, r/n = {visit_ratio}");
-    let base = ModelParams::new(quality, users as f64, visit_ratio * users as f64, 1.0 / users as f64)
-        .expect("params");
+    println!(
+        "forgetting dynamics: Q = {quality}, forget rate = {forget_rate}, r/n = {visit_ratio}"
+    );
+    let base = ModelParams::new(
+        quality,
+        users as f64,
+        visit_ratio * users as f64,
+        1.0 / users as f64,
+    )
+    .expect("params");
     let model = ForgettingModel::new(base, forget_rate).expect("model");
     println!(
         "analytic prediction: popularity saturates at Q_eff = Q - phi*n/r = {:.3} (not Q = {quality})",

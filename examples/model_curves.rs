@@ -40,16 +40,18 @@ fn main() {
     let i_vals: Vec<f64> = (0..=60)
         .map(|k| popularity::relative_increase(&f2, k as f64 * 2.5))
         .collect();
-    let p_vals: Vec<f64> =
-        (0..=60).map(|k| popularity::popularity(&f2, k as f64 * 2.5)).collect();
+    let p_vals: Vec<f64> = (0..=60)
+        .map(|k| popularity::popularity(&f2, k as f64 * 2.5))
+        .collect();
     println!("Figure 2 - I(p,t) vs P(p,t) for Q=0.2, P0=1e-9 (t in 0..150):");
     println!("  I: {}", sparkline(&i_vals, 0.2));
     println!("  P: {}", sparkline(&p_vals, 0.2));
     println!("  I estimates Q early; P estimates Q late; each fails where the other works\n");
 
     // --- Figure 3 --------------------------------------------------------
-    let q_vals: Vec<f64> =
-        (0..=60).map(|k| popularity::quality_estimate(&f2, k as f64 * 2.5)).collect();
+    let q_vals: Vec<f64> = (0..=60)
+        .map(|k| popularity::quality_estimate(&f2, k as f64 * 2.5))
+        .collect();
     println!("Figure 3 - I(p,t) + P(p,t):");
     println!("  {}", sparkline(&q_vals, 0.2));
     let max_dev = q_vals.iter().map(|&q| (q - 0.2).abs()).fold(0.0, f64::max);
@@ -61,15 +63,19 @@ fn main() {
     println!("  closed form vs RK4 integration:    max |diff| = {dev:.2e}");
 
     let mc_params = ModelParams::new(0.8, 20_000.0, 40_000.0, 0.001).expect("params");
-    let runs: Vec<_> =
-        (0..6).map(|s| simulate_single_page(&mc_params, 0.05, 8.0, 1000 + s)).collect();
+    let runs: Vec<_> = (0..6)
+        .map(|s| simulate_single_page(&mc_params, 0.05, 8.0, 1000 + s))
+        .collect();
     let avg = average_trajectories(&runs);
     let mc_dev = avg
         .iter()
         .map(|&(t, p)| (p - popularity::popularity(&mc_params, t)).abs())
         .fold(0.0, f64::max);
     println!("  closed form vs Monte-Carlo agents: max |diff| = {mc_dev:.3} (6 runs, n=20k users)");
-    let rk4_end = popularity_trajectory(&mc_params, 8.0, 800).last().unwrap().1;
+    let rk4_end = popularity_trajectory(&mc_params, 8.0, 800)
+        .last()
+        .unwrap()
+        .1;
     println!(
         "  popularity at t=8: closed form {:.4}, RK4 {:.4}, Monte Carlo {:.4}",
         popularity::popularity(&mc_params, 8.0),

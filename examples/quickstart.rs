@@ -11,7 +11,16 @@ fn main() {
     // --- 1. A small static web and its PageRank -------------------------
     let mut b = GraphBuilder::new();
     // pages: 0 = portal, 1 = old favorite, 2 = rising star, 3..5 = fans
-    b.add_edges([(0, 1), (1, 0), (3, 1), (4, 1), (5, 1), (3, 0), (4, 0), (5, 0)]);
+    b.add_edges([
+        (0, 1),
+        (1, 0),
+        (3, 1),
+        (4, 1),
+        (5, 1),
+        (3, 0),
+        (4, 0),
+        (5, 0),
+    ]);
     b.add_edge(5, 2); // the rising star has one early fan
     let g = b.build();
 
@@ -37,8 +46,12 @@ fn main() {
         (2, 0),
     ];
     let mut series = SnapshotSeries::new();
-    let growth: [&[(u32, u32)]; 4] =
-        [&[(5, 2)], &[(5, 2), (4, 2)], &[(5, 2), (4, 2), (3, 2)], &[(5, 2), (4, 2), (3, 2), (1, 2)]];
+    let growth: [&[(u32, u32)]; 4] = [
+        &[(5, 2)],
+        &[(5, 2), (4, 2)],
+        &[(5, 2), (4, 2), (3, 2)],
+        &[(5, 2), (4, 2), (3, 2), (1, 2)],
+    ];
     for (month, extra) in growth.iter().enumerate() {
         let mut builder = GraphBuilder::with_nodes(6);
         builder.add_edges(base.iter().copied());

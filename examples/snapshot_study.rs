@@ -21,13 +21,21 @@ fn main() {
         seed: 7,
         ..Default::default()
     };
-    println!("simulating: {} users, {} sites, births {}/month", cfg.num_users, cfg.num_sites, cfg.page_birth_rate);
+    println!(
+        "simulating: {} users, {} sites, births {}/month",
+        cfg.num_users, cfg.num_sites, cfg.page_birth_rate
+    );
 
     let mut world = World::bootstrap(cfg).expect("bootstrap");
     let schedule = SnapshotSchedule::paper_timeline(10.0);
-    println!("snapshot timeline (months): {:?}  (paper's Figure 4 spacing)\n", schedule.times);
+    println!(
+        "snapshot timeline (months): {:?}  (paper's Figure 4 spacing)\n",
+        schedule.times
+    );
 
-    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
+    let series = Crawler::default()
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl");
     for (i, snap) in series.snapshots().iter().enumerate() {
         let s = summarize(&snap.graph);
         println!(
@@ -43,8 +51,14 @@ fn main() {
     let common = series.common_pages();
     println!("pages common to all four snapshots: {}\n", common.len());
 
-    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
-        .expect("pipeline");
+    let report = run_pipeline(
+        &series,
+        &PipelineConfig {
+            c: 1.0,
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
     println!(
         "pages whose PageRank changed > 5% between t1 and t3: {}",
         report.num_selected()
@@ -60,7 +74,10 @@ fn main() {
         report.summary_current.mean_error,
         100.0 * report.summary_current.frac_below_01
     );
-    println!("  improvement factor: x{:.2}  (paper: x2.4)\n", report.improvement_factor());
+    println!(
+        "  improvement factor: x{:.2}  (paper: x2.4)\n",
+        report.improvement_factor()
+    );
 
     // ground-truth comparison, possible only on a simulated corpus
     let truths: Vec<f64> = report
@@ -68,8 +85,9 @@ fn main() {
         .iter()
         .map(|pid| world.page(pid.0 as u32).quality)
         .collect();
-    let sel_idx: Vec<usize> =
-        (0..report.pages.len()).filter(|&i| report.selected[i]).collect();
+    let sel_idx: Vec<usize> = (0..report.pages.len())
+        .filter(|&i| report.selected[i])
+        .collect();
     let pick = |v: &[f64]| -> Vec<f64> { sel_idx.iter().map(|&i| v[i]).collect() };
     println!("rank correlation with the (hidden) true quality, over selected pages:");
     println!(

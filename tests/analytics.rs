@@ -33,10 +33,16 @@ fn cohort_model_predicts_simulated_bias_direction() {
     // Build the cohort abstraction of the live world and check that the
     // analytic inversion rate agrees in direction with the measured one.
     let w = mature_world(3);
-    let env = CohortEnv { visit_ratio: 1.0, initial_popularity: 1.0 / 500.0 };
+    let env = CohortEnv {
+        visit_ratio: 1.0,
+        initial_popularity: 1.0 / 500.0,
+    };
     let now = w.time();
     let cohort: Vec<CohortPage> = (0..w.num_pages() as u32)
-        .map(|p| CohortPage { quality: w.page(p).quality, age: now - w.page(p).created_at })
+        .map(|p| CohortPage {
+            quality: w.page(p).quality,
+            age: now - w.page(p).created_at,
+        })
         .collect();
     let analytic = pairwise_inversion_rate(&env, &cohort).expect("analytic rate");
 
@@ -70,20 +76,36 @@ fn cohort_model_predicts_simulated_bias_direction() {
 #[test]
 fn hidden_gems_exist_and_are_young() {
     let w = mature_world(5);
-    let env = CohortEnv { visit_ratio: 1.0, initial_popularity: 1.0 / 500.0 };
+    let env = CohortEnv {
+        visit_ratio: 1.0,
+        initial_popularity: 1.0 / 500.0,
+    };
     let now = w.time();
     let cohort: Vec<CohortPage> = (0..w.num_pages() as u32)
-        .map(|p| CohortPage { quality: w.page(p).quality, age: now - w.page(p).created_at })
+        .map(|p| CohortPage {
+            quality: w.page(p).quality,
+            age: now - w.page(p).created_at,
+        })
         .collect();
     let gems = hidden_gems(&env, &cohort, 0.7, 0.1).expect("gems");
     assert!(!gems.is_empty(), "a growing web always has fresh quality");
     for &g in &gems {
-        assert!(cohort[g].age < 6.0, "hidden gems should be young, got age {}", cohort[g].age);
+        assert!(
+            cohort[g].age < 6.0,
+            "hidden gems should be young, got age {}",
+            cohort[g].age
+        );
     }
     // and overtake math: a 0.9 page overtakes a mature 0.3 page in
     // finite time, faster with higher visit ratios
-    let slow = CohortEnv { visit_ratio: 0.5, initial_popularity: 1.0 / 500.0 };
-    let fast = CohortEnv { visit_ratio: 2.0, initial_popularity: 1.0 / 500.0 };
+    let slow = CohortEnv {
+        visit_ratio: 0.5,
+        initial_popularity: 1.0 / 500.0,
+    };
+    let fast = CohortEnv {
+        visit_ratio: 2.0,
+        initial_popularity: 1.0 / 500.0,
+    };
     let t_slow = time_to_overtake(&slow, 0.9, 0.3).unwrap().unwrap();
     let t_fast = time_to_overtake(&fast, 0.9, 0.3).unwrap().unwrap();
     assert!(t_fast < t_slow);
@@ -95,8 +117,11 @@ fn quality_reranking_promotes_young_quality_pages() {
     let snap = Crawler::default().crawl(&w, w.time()).expect("crawl");
     let pr = pagerank(&snap.graph, &PageRankConfig::default());
     // hypothetical quality-true scores (what a perfect estimator gives)
-    let truth: Vec<f64> =
-        snap.pages.iter().map(|pid| w.page(pid.0 as u32).quality).collect();
+    let truth: Vec<f64> = snap
+        .pages
+        .iter()
+        .map(|pid| w.page(pid.0 as u32).quality)
+        .collect();
     let shift = rank_shift(&pr.scores, &truth, 20);
     // the two rankings must genuinely differ
     assert!(shift.mean_abs_shift > 1.0);
@@ -127,7 +152,12 @@ fn opic_approximates_pagerank_on_simulated_crawl() {
     let w = mature_world(9);
     let snap = Crawler::default().crawl(&w, w.time()).expect("crawl");
     let pr = pagerank(&snap.graph, &PageRankConfig::default());
-    let op = opic(&snap.graph, 0.85, snap.graph.num_nodes() * 100, OpicPolicy::RoundRobin);
+    let op = opic(
+        &snap.graph,
+        0.85,
+        snap.graph.num_nodes() * 100,
+        OpicPolicy::RoundRobin,
+    );
     let rho = qrank::core::correlation::spearman(&pr.scores, &op.scores);
     assert!(rho > 0.9, "OPIC should track PageRank: spearman {rho}");
 }

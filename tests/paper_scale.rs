@@ -22,7 +22,10 @@ fn two_point_seven_million_pages() {
     let g = barabasi_albert(n, 5, &mut rng);
     assert_eq!(g.num_nodes(), n);
 
-    let cfg = PageRankConfig { tolerance: 1e-8, ..Default::default() };
+    let cfg = PageRankConfig {
+        tolerance: 1e-8,
+        ..Default::default()
+    };
     let t1 = pagerank(&g, &cfg);
     assert!(t1.converged, "cold solve must converge");
     let sum: f64 = t1.scores.iter().sum();

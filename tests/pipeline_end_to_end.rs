@@ -18,16 +18,28 @@ fn study(seed: u64) -> (qrank::graph::SnapshotSeries, World) {
     };
     let mut world = World::bootstrap(cfg).expect("bootstrap");
     let schedule = SnapshotSchedule::paper_timeline(12.0);
-    let series = Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl");
+    let series = Crawler::default()
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl");
     (series, world)
 }
 
 #[test]
 fn estimator_beats_current_pagerank_baseline() {
     let (series, _world) = study(11);
-    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
-        .expect("pipeline");
-    assert!(report.num_selected() > 30, "selected {}", report.num_selected());
+    let report = run_pipeline(
+        &series,
+        &PipelineConfig {
+            c: 1.0,
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
+    assert!(
+        report.num_selected() > 30,
+        "selected {}",
+        report.num_selected()
+    );
     assert!(
         report.summary_estimate.mean_error < report.summary_current.mean_error,
         "estimate err {} should beat baseline err {}",
@@ -44,10 +56,19 @@ fn estimator_beats_current_pagerank_baseline() {
 fn estimator_correlates_with_ground_truth_quality() {
     use qrank::core::correlation::spearman;
     let (series, world) = study(13);
-    let report = run_pipeline(&series, &PipelineConfig { c: 1.0, ..Default::default() })
-        .expect("pipeline");
-    let truths: Vec<f64> =
-        report.pages.iter().map(|p| world.page(p.0 as u32).quality).collect();
+    let report = run_pipeline(
+        &series,
+        &PipelineConfig {
+            c: 1.0,
+            ..Default::default()
+        },
+    )
+    .expect("pipeline");
+    let truths: Vec<f64> = report
+        .pages
+        .iter()
+        .map(|p| world.page(p.0 as u32).quality)
+        .collect();
     let rho_est = spearman(&report.estimates, &truths);
     let rho_cur = spearman(&report.current, &truths);
     // both correlate (popularity tracks quality under the model), and
@@ -65,7 +86,10 @@ fn indegree_metric_also_works_end_to_end() {
     let report = run_pipeline_with(
         &series,
         &PopularityMetric::InDegree,
-        &qrank::core::PaperEstimator { c: 1.0, flat_tolerance: 0.0 },
+        &qrank::core::PaperEstimator {
+            c: 1.0,
+            flat_tolerance: 0.0,
+        },
         0.05,
     )
     .expect("pipeline");
@@ -96,7 +120,10 @@ fn common_pages_shrink_as_web_grows() {
     let (series, world) = study(23);
     let common = series.common_pages();
     let last = series.snapshots().last().expect("4 snapshots");
-    assert!(common.len() < last.num_pages(), "new pages must appear after t1");
+    assert!(
+        common.len() < last.num_pages(),
+        "new pages must appear after t1"
+    );
     assert!(common.len() > 500, "bootstrap pages persist");
     assert!(world.num_pages() >= last.num_pages());
 }

@@ -28,7 +28,10 @@ fn crawl_graph(seed: u64) -> qrank::graph::CsrGraph {
 #[test]
 fn all_solvers_agree_on_simulated_crawl() {
     let g = crawl_graph(41);
-    let cfg = PageRankConfig { tolerance: 1e-12, ..Default::default() };
+    let cfg = PageRankConfig {
+        tolerance: 1e-12,
+        ..Default::default()
+    };
     let reference = pagerank(&g, &cfg);
     assert!(reference.converged);
 
@@ -44,10 +47,7 @@ fn all_solvers_agree_on_simulated_crawl() {
         ("adaptive", &ad.result.scores),
     ] {
         for (i, (a, b)) in reference.scores.iter().zip(scores.iter()).enumerate() {
-            assert!(
-                (a - b).abs() < 1e-6,
-                "{name} node {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-6, "{name} node {i}: {a} vs {b}");
         }
     }
 }

@@ -18,7 +18,9 @@ fn crawl_series() -> qrank::graph::SnapshotSeries {
     };
     let mut world = World::bootstrap(cfg).expect("bootstrap");
     let schedule = SnapshotSchedule::uniform(2.0, 1.0, 4);
-    Crawler::default().crawl_schedule(&mut world, &schedule).expect("crawl")
+    Crawler::default()
+        .crawl_schedule(&mut world, &schedule)
+        .expect("crawl")
 }
 
 #[test]
@@ -53,7 +55,10 @@ fn corrupted_payload_is_rejected_not_misread() {
     // truncate at several depths: always an error, never a panic or a
     // silently wrong series
     for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
-        assert!(decode_series(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        assert!(
+            decode_series(&bytes[..cut]).is_err(),
+            "cut at {cut} should fail"
+        );
     }
     let mut bad = bytes.to_vec();
     bad[0] ^= 0x55;

@@ -1,0 +1,199 @@
+//! Offline shim of `bytes`: `Bytes`/`BytesMut` containers plus the
+//! little-endian `Buf`/`BufMut` accessors the graph I/O layer uses.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer (shim: a plain `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer (shim: a plain `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-side accessors (little-endian puts).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a buffer-like value wholesale.
+    fn put<B: AsRef<[u8]>>(&mut self, src: B) {
+        self.put_slice(src.as_ref());
+    }
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64`, little-endian.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side accessors (little-endian gets that advance the cursor).
+///
+/// Implemented for `&[u8]`: each `get_*` consumes from the front of the
+/// slice. Callers must check [`Buf::remaining`] first; reading past the
+/// end panics, exactly like the real crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes from the front.
+    fn take_front(&mut self, n: usize) -> &[u8];
+
+    /// Read a `u8`.
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    /// Read a `u16`, little-endian.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_front(2).try_into().unwrap())
+    }
+
+    /// Read a `u32`, little-endian.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_front(4).try_into().unwrap())
+    }
+
+    /// Read a `u64`, little-endian.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+
+    /// Read an `f64`, little-endian.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_front(8).try_into().unwrap())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        let (front, rest) = self.split_at(n);
+        *self = rest;
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u16_le(7);
+        b.put_u32_le(40_000);
+        b.put_u64_le(1 << 40);
+        b.put_f64_le(1.25);
+        b.put(Bytes::from(vec![9u8]));
+        let frozen = b.freeze();
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.remaining(), 2 + 4 + 8 + 8 + 1);
+        assert_eq!(r.get_u16_le(), 7);
+        assert_eq!(r.get_u32_le(), 40_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f64_le(), 1.25);
+        assert_eq!(r.get_u8(), 9);
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim of `serde`: marker traits plus the no-op derives from
+//! the sibling `serde_derive` shim. The workspace derives
+//! `Serialize`/`Deserialize` on a handful of config types but never
+//! serializes through serde (output formats are hand-rolled), so marker
+//! traits are sufficient.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

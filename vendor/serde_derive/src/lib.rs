@@ -1,0 +1,17 @@
+//! Offline shim of `serde_derive`: the derive macros accept any input
+//! and emit nothing. The workspace only uses the derives as markers —
+//! no code is generic over `Serialize`/`Deserialize` bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
