@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qrank_graph::generators::barabasi_albert;
 use qrank_rank::adaptive::AdaptiveConfig;
 use qrank_rank::{
-    adaptive, extrapolated, gauss_seidel, hits, pagerank, pagerank_warm, parallel_pagerank,
-    PageRankConfig,
+    adaptive, colored_gauss_seidel, extrapolated, gauss_seidel, hits, pagerank, pagerank_warm,
+    parallel_pagerank_force, solve_auto_with, PageRankConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,13 +39,25 @@ fn bench_solvers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("adaptive", n), &g, |b, g| {
             b.iter(|| black_box(adaptive(g, &cfg, &AdaptiveConfig::default())))
         });
+        // forced variants: measure the threaded solvers themselves even
+        // below PARALLEL_MIN_NODES, where the public entry points would
+        // fall back to sequential — this group is where the crossover
+        // documented in `qrank_rank::solver` comes from
         for threads in [2, 4] {
             group.bench_with_input(
                 BenchmarkId::new(format!("parallel_{threads}t"), n),
                 &g,
-                |b, g| b.iter(|| black_box(parallel_pagerank(g, &cfg, threads))),
+                |b, g| b.iter(|| black_box(parallel_pagerank_force(g, &cfg, threads))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("colored_gs_{threads}t"), n),
+                &g,
+                |b, g| b.iter(|| black_box(colored_gauss_seidel(g, &cfg, threads))),
             );
         }
+        group.bench_with_input(BenchmarkId::new("auto", n), &g, |b, g| {
+            b.iter(|| black_box(solve_auto_with(g, &cfg, None, 4)))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,208 @@
+//! BENCH-PIPELINE — end-to-end wall-clock of the full experiment path
+//! (simulate → snapshot → rank → estimate) at 1, 2, and 8 threads.
+//!
+//! Exercises the deterministic parallel execution layer end to end: the
+//! world's visit phase runs on the given thread budget, and the
+//! pipeline's PageRank dispatches through `solve_auto` (sequential
+//! Gauss–Seidel vs. the degree-relabeled multi-color parallel sweep,
+//! chosen by graph size × thread budget). Besides the timings, the run
+//! fingerprints the simulated history at each budget and asserts the
+//! fingerprints match — the bit-identity guarantee, checked on the real
+//! workload, not just in unit tests.
+//!
+//! Results land in `BENCH_pipeline.json`, including `host_cpus`:
+//! speedups are bounded by the hardware the bench ran on, so the
+//! recorded numbers are only meaningful next to that field.
+//!
+//! Usage: `bench_pipeline [small|full] [seed]` (full ≈ 500k+ pages).
+
+use std::time::Instant;
+
+use qrank_core::{run_pipeline, PipelineConfig};
+use qrank_graph::SnapshotSeries;
+use qrank_serve::json::{array, Obj};
+use qrank_sim::{Crawler, QualityDist, SimConfig, World};
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Hash every observable of the simulated history: page count, per-page
+/// popularity and awareness bit patterns, and the final edge list.
+fn sim_fingerprint(world: &World) -> u64 {
+    let mut h = Fnv::new();
+    h.word(world.num_pages() as u64);
+    for p in world.popularities() {
+        h.word(p.to_bits());
+    }
+    for p in 0..world.num_pages() as u32 {
+        h.word(world.awareness(p).to_bits());
+    }
+    for (src, dst) in world.link_graph_at(world.time()).edges() {
+        h.word((u64::from(src) << 32) | u64::from(dst));
+    }
+    h.0
+}
+
+struct RunResult {
+    threads: usize,
+    pages: usize,
+    common_pages: usize,
+    sim_seconds: f64,
+    snapshot_seconds: f64,
+    rank_estimate_seconds: f64,
+    total_seconds: f64,
+    fingerprint: u64,
+    improvement_factor: f64,
+}
+
+fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult {
+    qrank_rank::set_thread_budget(threads);
+    let total_started = Instant::now();
+    let mut world = World::bootstrap(cfg).expect("bootstrap");
+    world.set_thread_budget(threads);
+
+    let crawler = Crawler::default();
+    let mut series = SnapshotSeries::new();
+    let mut sim_seconds = 0.0;
+    let mut snapshot_seconds = 0.0;
+    for &t in snapshot_times {
+        let started = Instant::now();
+        world.run_until(t);
+        sim_seconds += started.elapsed().as_secs_f64();
+        let started = Instant::now();
+        series
+            .push(crawler.crawl(&world, t).expect("crawl"))
+            .expect("snapshot times ascend");
+        snapshot_seconds += started.elapsed().as_secs_f64();
+    }
+
+    let started = Instant::now();
+    let report = run_pipeline(&series, &PipelineConfig::default()).expect("pipeline");
+    let rank_estimate_seconds = started.elapsed().as_secs_f64();
+    let total_seconds = total_started.elapsed().as_secs_f64();
+    qrank_rank::set_thread_budget(0);
+
+    RunResult {
+        threads,
+        pages: world.num_pages(),
+        common_pages: report.pages.len(),
+        sim_seconds,
+        snapshot_seconds,
+        rank_estimate_seconds,
+        total_seconds,
+        fingerprint: sim_fingerprint(&world),
+        improvement_factor: report.improvement_factor(),
+    }
+}
+
+fn main() {
+    let mut full = true;
+    let mut seed = 42u64;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "small" => full = false,
+            "full" => full = true,
+            s => seed = s.parse().expect("bad seed"),
+        }
+    }
+    // `full` targets the >=500k-page regime (sites + users + births);
+    // `small` keeps the same shape at 1/40 scale for quick runs.
+    let (users, sites, birth_rate, burn_in) = if full {
+        (2_000usize, 200usize, 60_000.0, 8.0)
+    } else {
+        (500, 50, 2_000.0, 4.0)
+    };
+    let cfg = SimConfig {
+        num_users: users,
+        num_sites: sites,
+        visit_ratio: 1.0,
+        page_birth_rate: birth_rate,
+        quality_dist: QualityDist::Uniform { lo: 0.05, hi: 0.95 },
+        dt: 0.05,
+        seed,
+        ..Default::default()
+    };
+    let snapshot_times = [burn_in, burn_in + 0.5, burn_in + 1.0, burn_in + 2.5];
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "BENCH-PIPELINE: {} mode, seed {seed}, host_cpus {host_cpus}",
+        if full { "full" } else { "small" }
+    );
+
+    let runs: Vec<RunResult> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let r = run_once(cfg, threads, &snapshot_times);
+            println!(
+                "  {} threads: {} pages ({} common) | sim {:.2}s, snapshot {:.2}s, \
+                 rank+estimate {:.2}s, total {:.2}s | fingerprint {:016x}",
+                r.threads,
+                r.pages,
+                r.common_pages,
+                r.sim_seconds,
+                r.snapshot_seconds,
+                r.rank_estimate_seconds,
+                r.total_seconds,
+                r.fingerprint
+            );
+            r
+        })
+        .collect();
+
+    let bit_identical = runs.iter().all(|r| r.fingerprint == runs[0].fingerprint);
+    assert!(
+        bit_identical,
+        "simulated histories diverged across thread counts"
+    );
+    let speedup_2t = runs[0].total_seconds / runs[1].total_seconds;
+    let speedup_8t = runs[0].total_seconds / runs[2].total_seconds;
+    println!("  sim bit-identical across 1/2/8 threads: OK");
+    println!("  total speedup: {speedup_2t:.2}x at 2 threads, {speedup_8t:.2}x at 8 threads");
+
+    let json = Obj::new()
+        .str("mode", if full { "full" } else { "small" })
+        .int("seed", seed)
+        .int("host_cpus", host_cpus as u64)
+        .int("pages", runs[0].pages as u64)
+        .int("common_pages", runs[0].common_pages as u64)
+        .int("snapshots", snapshot_times.len() as u64)
+        .raw(
+            "runs",
+            &array(runs.iter().map(|r| {
+                Obj::new()
+                    .int("threads", r.threads as u64)
+                    .num("sim_seconds", r.sim_seconds)
+                    .num("snapshot_seconds", r.snapshot_seconds)
+                    .num("rank_estimate_seconds", r.rank_estimate_seconds)
+                    .num("total_seconds", r.total_seconds)
+                    .str("sim_fingerprint", &format!("{:016x}", r.fingerprint))
+                    .num("improvement_factor", r.improvement_factor)
+                    .finish()
+            })),
+        )
+        .bool("sim_bit_identical", bit_identical)
+        .num("speedup_2_threads", speedup_2t)
+        .num("speedup_8_threads", speedup_8t)
+        .str(
+            "note",
+            &format!(
+                "wall-clock speedup is bounded by host_cpus={host_cpus}; \
+                 determinism (sim_bit_identical) is hardware-independent"
+            ),
+        )
+        .finish();
+    std::fs::write("BENCH_pipeline.json", format!("{json}\n")).unwrap();
+    println!("  wrote BENCH_pipeline.json");
+}

@@ -2,8 +2,8 @@
 
 use qrank_graph::io::read_edge_list;
 use qrank_rank::{
-    gauss_seidel, hits, indegree_scores, opic, pagerank, parallel_pagerank, OpicPolicy,
-    PageRankConfig, ScoreScale,
+    colored_gauss_seidel, gauss_seidel, hits, indegree_scores, opic, pagerank, parallel_pagerank,
+    solve_auto_with, OpicPolicy, PageRankConfig, ScoreScale,
 };
 
 use crate::args::{parse, write_output, CliError};
@@ -13,8 +13,9 @@ qrank pagerank --graph <file> [options]
 
 options:
   --graph FILE     input edge list
-  --solver NAME    power | gauss-seidel | parallel | hits | indegree | opic
-                   (default power)
+  --solver NAME    auto | power | gauss-seidel | colored | parallel | hits |
+                   indegree | opic (default power; `auto` picks the fastest
+                   PageRank solver for the graph size and thread budget)
   --damping D      paper-style damping d = teleport probability (default 0.15)
   --scale S        probability | per-page (default per-page, as in the paper)
   --threads T      parallel solver threads (default 4)
@@ -50,6 +51,14 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let scores = match solver {
         "power" => pagerank(&g, &cfg).scores,
         "gauss-seidel" => gauss_seidel(&g, &cfg).scores,
+        "auto" => {
+            let threads: usize = p.get_or("threads", 4, USAGE)?;
+            solve_auto_with(&g, &cfg, None, threads).scores
+        }
+        "colored" => {
+            let threads: usize = p.get_or("threads", 4, USAGE)?;
+            colored_gauss_seidel(&g, &cfg, threads).scores
+        }
         "parallel" => {
             let threads: usize = p.get_or("threads", 4, USAGE)?;
             parallel_pagerank(&g, &cfg, threads).scores
@@ -108,6 +117,8 @@ mod tests {
         for solver in [
             "power",
             "gauss-seidel",
+            "auto",
+            "colored",
             "parallel",
             "hits",
             "indegree",

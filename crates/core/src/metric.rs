@@ -35,9 +35,16 @@ impl PopularityMetric {
     /// Like [`PopularityMetric::compute`], optionally warm-starting from
     /// a previous snapshot's scores (only the PageRank metric uses the
     /// hint; the others are direct computations).
+    ///
+    /// PageRank is solved by [`qrank_rank::solve_auto`]: sequential
+    /// Gauss–Seidel on small graphs, the degree-relabeled multi-color
+    /// parallel sweep on large ones — whichever is fastest for the graph
+    /// size and [`qrank_rank::thread_budget`]. Both the pipeline's cold
+    /// path and the serve refresh engine's warm path funnel through this
+    /// one call, so warm refreshes stay bitwise-equal to cold recomputes.
     pub fn compute_warm(&self, g: &CsrGraph, warm: Option<&[f64]>) -> Vec<f64> {
         match self {
-            PopularityMetric::PageRank(cfg) => qrank_rank::pagerank_warm(g, cfg, warm).scores,
+            PopularityMetric::PageRank(cfg) => qrank_rank::solve_auto(g, cfg, warm).scores,
             PopularityMetric::InDegree => qrank_rank::indegree_scores(g),
             PopularityMetric::HitsAuthority => qrank_rank::hits(g, 1e-10, 200).authorities,
         }

@@ -58,6 +58,7 @@ pub mod dynamic;
 pub mod error;
 pub mod generators;
 pub mod io;
+pub mod relabel;
 pub mod scc;
 pub mod snapshot;
 pub mod stats;
@@ -68,6 +69,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeEvent};
 pub use error::GraphError;
+pub use relabel::{degree_order, Relabeling};
 pub use snapshot::{PageId, Snapshot, SnapshotSeries};
 
 /// Node identifier within a single [`CsrGraph`].

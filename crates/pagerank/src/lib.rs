@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod colored;
 pub mod config;
 pub mod extrapolation;
 pub mod gauss_seidel;
@@ -49,14 +50,20 @@ pub mod opic;
 pub mod parallel;
 pub mod personalized;
 pub mod power;
+pub mod solver;
 
 pub use adaptive::adaptive;
+pub use colored::{colored_gauss_seidel, colored_gauss_seidel_warm, greedy_coloring, Coloring};
 pub use config::{DanglingStrategy, PageRankConfig, ScoreScale};
 pub use extrapolation::extrapolated;
 pub use gauss_seidel::{gauss_seidel, gauss_seidel_warm};
 pub use hits::{hits, HitsResult};
 pub use indegree::{indegree_scores, normalized_indegree};
 pub use opic::{opic, OpicPolicy, OpicResult};
-pub use parallel::parallel_pagerank;
+pub use parallel::{parallel_pagerank, parallel_pagerank_force};
 pub use personalized::personalized_pagerank;
 pub use power::{pagerank, pagerank_warm, PageRankResult};
+pub use solver::{
+    select_solver, set_thread_budget, solve_auto, solve_auto_with, thread_budget, SolverChoice,
+    PARALLEL_MIN_NODES,
+};

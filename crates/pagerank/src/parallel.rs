@@ -29,23 +29,43 @@ fn f64_store(a: &AtomicU64, v: f64) {
     a.store(v.to_bits(), Ordering::Relaxed);
 }
 
-/// Compute PageRank with `num_threads` worker threads.
+/// Compute PageRank with `num_threads` worker threads, falling back to
+/// the sequential solver when parallelism cannot pay for itself.
+///
+/// Below [`crate::solver::PARALLEL_MIN_NODES`] nodes (or with a single
+/// thread) this delegates to [`crate::pagerank`]: each iteration of the
+/// threaded solver crosses two barriers, and on small graphs that
+/// synchronization dwarfs the per-iteration work (measured in the
+/// `pagerank_solvers` bench group — the crossover sits near 10⁵ nodes).
+/// Callers therefore no longer need to gate on graph size themselves.
+/// Use [`parallel_pagerank_force`] to bypass the fallback (benchmarks,
+/// determinism tests).
 ///
 /// Produces the same vector as [`crate::pagerank`] (bitwise equality is
-/// not guaranteed — floating-point summation order differs — but results
-/// agree to well below any practical tolerance). For a fixed thread
-/// count the result *is* bitwise deterministic across runs.
-///
-/// **When to use:** only on graphs far beyond ~10⁵ nodes. Threads are
-/// spawned once per solve, but each iteration still crosses two
-/// barriers, so on small graphs the synchronization dwarfs the
-/// per-iteration work and the sequential solvers win (see the
-/// `pagerank_solvers` bench group). Gauss–Seidel is the fastest
-/// sequential choice on web-shaped graphs.
+/// not guaranteed on the threaded path — floating-point summation order
+/// differs — but results agree to well below any practical tolerance).
+/// For a fixed thread count the result *is* bitwise deterministic
+/// across runs.
 ///
 /// # Panics
 /// Panics if `num_threads == 0`.
 pub fn parallel_pagerank(
+    g: &CsrGraph,
+    config: &PageRankConfig,
+    num_threads: usize,
+) -> PageRankResult {
+    assert!(num_threads >= 1, "need at least one thread");
+    if num_threads == 1 || g.num_nodes() < crate::solver::PARALLEL_MIN_NODES {
+        return crate::power::pagerank(g, config);
+    }
+    parallel_pagerank_force(g, config, num_threads)
+}
+
+/// The threaded pull-based power iteration, with no size-based fallback.
+///
+/// # Panics
+/// Panics if `num_threads == 0`.
+pub fn parallel_pagerank_force(
     g: &CsrGraph,
     config: &PageRankConfig,
     num_threads: usize,
@@ -174,12 +194,26 @@ mod tests {
         };
         let seq = pagerank(&g, &cfg);
         for threads in [1, 2, 4, 7] {
-            let par = parallel_pagerank(&g, &cfg, threads);
+            let par = parallel_pagerank_force(&g, &cfg, threads);
             assert_eq!(par.iterations, seq.iterations, "threads={threads}");
             for (a, b) in seq.scores.iter().zip(&par.scores) {
                 assert!((a - b).abs() < 1e-10, "threads={threads}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn small_graphs_fall_back_to_sequential_bitwise() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = erdos_renyi_gnm(500, 3000, &mut rng); // far below the threshold
+        let cfg = PageRankConfig::default();
+        let seq = pagerank(&g, &cfg);
+        let par = parallel_pagerank(&g, &cfg, 8);
+        assert_eq!(
+            seq.scores, par.scores,
+            "below PARALLEL_MIN_NODES the fallback must be the sequential solver"
+        );
+        assert_eq!(seq.iterations, par.iterations);
     }
 
     #[test]
@@ -196,7 +230,7 @@ mod tests {
                 ..Default::default()
             };
             let seq = pagerank(&g, &cfg);
-            let par = parallel_pagerank(&g, &cfg, 3);
+            let par = parallel_pagerank_force(&g, &cfg, 3);
             for (a, b) in seq.scores.iter().zip(&par.scores) {
                 assert!((a - b).abs() < 1e-10, "{strategy:?}: {a} vs {b}");
             }
@@ -206,7 +240,7 @@ mod tests {
     #[test]
     fn more_threads_than_nodes_is_fine() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-        let r = parallel_pagerank(&g, &PageRankConfig::default(), 64);
+        let r = parallel_pagerank_force(&g, &PageRankConfig::default(), 64);
         let sum: f64 = r.scores.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
@@ -230,8 +264,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let g = barabasi_albert(400, 3, &mut rng);
         let cfg = PageRankConfig::default();
-        let a = parallel_pagerank(&g, &cfg, 4);
-        let b = parallel_pagerank(&g, &cfg, 4);
+        let a = parallel_pagerank_force(&g, &cfg, 4);
+        let b = parallel_pagerank_force(&g, &cfg, 4);
         assert_eq!(
             a.scores, b.scores,
             "same thread count must be bitwise deterministic"

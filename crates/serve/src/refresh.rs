@@ -18,6 +18,14 @@
 //! other shape (window slide, page-set change) falls back to a full
 //! recompute, which is itself the cold path. Either way readers can never
 //! tell the difference; the e2e test asserts agreement to 1e-9.
+//!
+//! Both paths solve PageRank through
+//! [`qrank_core::PopularityMetric::compute_warm`], which dispatches via
+//! `qrank_rank::solve_auto` — sequential Gauss–Seidel for small
+//! snapshots, the degree-relabeled multi-color parallel sweep for large
+//! ones. The dispatch depends only on the graph size and thread budget,
+//! never on which path asked, so the warm/cold bitwise equivalence above
+//! survives solver selection.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc::{channel, Receiver, Sender};

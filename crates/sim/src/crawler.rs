@@ -67,7 +67,8 @@ impl Crawler {
             "cannot crawl the future: t={t}, world at {}",
             world.time()
         );
-        let g = world.link_graph_at(t);
+        // memoized: repeated crawls of an unchanged world rebuild nothing
+        let g = world.link_graph_arc(t);
         // Visit each site from its root; a page is captured once even if
         // reachable from several sites (first crawl wins, like a crawler
         // deduplicating by URL).

@@ -24,6 +24,8 @@
 //! * [`world`] — the simulation state machine.
 //! * [`crawler`] — site-rooted snapshot crawler and the paper's timeline.
 //! * [`indexed_set`] — O(1) insert/remove/sample set used for awareness.
+//! * [`rng`] — counter-based streams behind the parallel, thread-count-
+//!   independent visit phase (see [`world`]'s module docs).
 //!
 //! ```
 //! use qrank_sim::config::SimConfig;
@@ -44,6 +46,7 @@ pub mod crawler;
 pub mod dist;
 pub mod indexed_set;
 pub mod montecarlo;
+pub mod rng;
 pub mod trace;
 pub mod world;
 

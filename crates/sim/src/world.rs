@@ -19,10 +19,21 @@
 //!    probability `forget_rate·dt`, dropping their like and their link —
 //!    the paper's future-work explanation for declining PageRanks.
 //!
-//! Everything is driven by one seeded RNG: identical configs give
-//! bit-identical histories.
+//! ## Determinism and parallelism
+//!
+//! Births and forgetting draw from one seeded sequential RNG. The visit
+//! phase — the per-step hot loop, O(pages) — instead draws every page's
+//! Poisson visit count and per-visit outcomes from an independent
+//! counter-based stream keyed on `(seed, step, page)`
+//! ([`crate::rng::StreamRng`]), so its outcome is a pure function of the
+//! config: identical configs give **bit-identical histories for any
+//! thread count**. [`World::set_thread_budget`] picks how many worker
+//! threads process page chunks; like-link mutations are collected
+//! per-thread and applied in page order afterwards, keeping the graph
+//! event log identical too.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 
 use qrank_graph::{CsrGraph, DynamicGraph, GraphError, NodeId};
 use qrank_model::noise::binomial;
@@ -31,6 +42,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::bitset::{BitSet, SampleSet};
 use crate::dist::sample_poisson;
+use crate::rng::StreamRng;
 use crate::{SimConfig, VisitModel};
 
 /// Immutable facts about a page.
@@ -75,6 +87,26 @@ pub struct World {
     /// Cached PageRank for the ByPageRank visit model.
     cached_pr: Vec<f64>,
     cached_pr_pages: usize,
+    /// Steps taken so far — the `step` component of visit-stream keys.
+    steps_taken: u64,
+    /// Worker threads for the visit phase (execution knob only; the
+    /// history is bit-identical for every value).
+    threads: usize,
+    /// Bumped on every state mutation (page birth, link add/remove,
+    /// like/unlike); keys the derived-view caches below.
+    version: u64,
+    /// Memoized [`World::link_graph_at`] materialization.
+    cached_graph: Mutex<Option<GraphCache>>,
+    /// Memoized [`World::popularities`] vector.
+    cached_pops: Mutex<Option<(u64, Vec<f64>)>>,
+}
+
+/// A materialized link graph, valid while `version` is current.
+#[derive(Debug)]
+struct GraphCache {
+    version: u64,
+    time: f64,
+    graph: Arc<CsrGraph>,
 }
 
 impl World {
@@ -99,6 +131,11 @@ impl World {
             like_link_src: HashMap::new(),
             cached_pr: Vec::new(),
             cached_pr_pages: 0,
+            steps_taken: 0,
+            threads: 1,
+            version: 0,
+            cached_graph: Mutex::new(None),
+            cached_pops: Mutex::new(None),
         };
 
         // Site roots; each is authored by some user so it starts with
@@ -142,6 +179,7 @@ impl World {
     }
 
     fn new_page_raw(&mut self, quality: f64, site: u32, owner: u32) -> Result<u32, GraphError> {
+        self.version += 1;
         let id = self.links.add_node(self.time)?;
         self.pages.push(PageInfo {
             quality,
@@ -158,6 +196,7 @@ impl World {
 
     fn add_structural_edge(&mut self, src: u32, dst: u32) -> Result<(), GraphError> {
         if src != dst {
+            self.version += 1;
             self.links.add_edge(src, dst, self.time)?;
             self.structural.insert((src, dst));
         }
@@ -170,6 +209,7 @@ impl World {
         if !self.liked[page as usize].set(user) {
             return Ok(());
         }
+        self.version += 1;
         self.liked_count[page as usize] += 1;
         let src = self.homepage.get(user as usize).copied().unwrap_or(page);
         if src != page {
@@ -204,45 +244,15 @@ impl World {
             self.record_like(id, owner)?;
         }
 
-        // 2. Visits. Each visit is by a uniformly random user
-        // (Proposition 2); only visits by currently-unaware users change
-        // any state, so we thin the Poisson visit stream to its
-        // discovery events: discoveries ~ Binomial(visits, unaware/n),
-        // each by a uniformly random unaware user. (Within one step the
-        // thinning probability is held at its start-of-step value — an
-        // O(dt^2) approximation, like the step discretization itself.)
+        // 2. Visits. Every page draws from its own (seed, step, page)
+        // stream, so the phase parallelizes over page chunks with a
+        // bit-identical outcome for any thread count; like events come
+        // back in page order and are applied here, on one thread, so the
+        // graph event log is order-independent too.
         let visit_weights = self.visit_weights();
-        let n = cfg.num_users;
-        for (p, &weight) in visit_weights.iter().enumerate() {
-            let lambda = weight * cfg.dt;
-            if lambda <= 0.0 {
-                continue;
-            }
-            let unaware = n - self.aware[p].len();
-            if unaware == 0 {
-                continue; // saturated: visits cannot change anything
-            }
-            let visits = sample_poisson(&mut self.rng, lambda);
-            if visits == 0 {
-                continue;
-            }
-            let discoveries =
-                binomial(&mut self.rng, visits, unaware as f64 / n as f64).min(unaware as u64);
-            for _ in 0..discoveries {
-                // rejection-sample an unaware user; expected trials
-                // n/unaware, total work bounded by n bit tests
-                let user = loop {
-                    let u = self.rng.random_range(0..n) as u32;
-                    if !self.aware[p].contains(u) {
-                        break u;
-                    }
-                };
-                self.aware[p].insert(user);
-                // first discovery: like with probability Q(p)
-                if self.rng.random::<f64>() < self.pages[p].quality {
-                    self.record_like(p as u32, user)?;
-                }
-            }
+        self.steps_taken += 1;
+        for (p, user) in self.visit_phase(&visit_weights) {
+            self.record_like(p, user)?;
         }
 
         // 3. Forgetting.
@@ -271,10 +281,81 @@ impl World {
         Ok(())
     }
 
+    /// The visit phase of one step: mutates awareness in place and
+    /// returns the like events `(page, user)` in page order (discovery
+    /// order within a page). Pages are processed in disjoint contiguous
+    /// chunks on up to [`World::thread_budget`] worker threads; each
+    /// page's randomness comes from its own counter-based stream, so the
+    /// result is bit-identical for any thread count.
+    fn visit_phase(&mut self, visit_weights: &[f64]) -> Vec<(u32, u32)> {
+        let n = self.config.num_users;
+        let dt = self.config.dt;
+        let seed = self.config.seed;
+        let step = self.steps_taken;
+        let num_pages = self.pages.len();
+        let threads = self.threads.clamp(1, num_pages.max(1));
+        let pages = &self.pages;
+        let aware = &mut self.aware[..];
+        if threads == 1 {
+            let mut likes = Vec::new();
+            for (p, aw) in aware.iter_mut().enumerate() {
+                visit_page(
+                    n,
+                    dt,
+                    seed,
+                    step,
+                    p as u32,
+                    visit_weights[p],
+                    pages[p].quality,
+                    aw,
+                    &mut likes,
+                );
+            }
+            return likes;
+        }
+        let chunk = num_pages.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut rest = aware;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let lo = base;
+                base += take;
+                handles.push(s.spawn(move || {
+                    let mut likes = Vec::new();
+                    for (i, aw) in head.iter_mut().enumerate() {
+                        let p = lo + i;
+                        visit_page(
+                            n,
+                            dt,
+                            seed,
+                            step,
+                            p as u32,
+                            visit_weights[p],
+                            pages[p].quality,
+                            aw,
+                            &mut likes,
+                        );
+                    }
+                    likes
+                }));
+            }
+            // joining in spawn order keeps the events in page order
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("visit worker panicked"))
+                .collect()
+        })
+    }
+
     /// Drop `user`'s like of `page` (if any) and the associated
     /// like-link, preserving structural navigation edges.
     fn forget_like(&mut self, page: u32, user: u32) -> Result<(), GraphError> {
         if self.liked[page as usize].clear(user) {
+            self.version += 1;
             self.liked_count[page as usize] -= 1;
             if let Some(src) = self.like_link_src.remove(&(page, user)) {
                 if !self.structural.contains(&(src, page)) {
@@ -336,13 +417,13 @@ impl World {
         {
             return;
         }
-        let g = self.links.graph_at_full(self.time);
+        let g = self.link_graph_arc(self.time);
         let cfg = qrank_rank::PageRankConfig {
             tolerance: 1e-9,
             max_iterations: 100,
             ..Default::default()
         };
-        let mut pr = qrank_rank::pagerank(&g, &cfg).scores;
+        let mut pr = qrank_rank::pagerank(g.as_ref(), &cfg).scores;
         pr.resize(self.pages.len(), 0.0);
         self.cached_pr = pr;
         self.cached_pr_pages = self.pages.len();
@@ -391,9 +472,17 @@ impl World {
     /// to site-traffic measurements, which are popularity fractions
     /// rather than PageRank scores).
     pub fn popularities(&self) -> Vec<f64> {
-        (0..self.pages.len() as u32)
+        let mut guard = self.cached_pops.lock().expect("popularity cache poisoned");
+        if let Some((version, pops)) = guard.as_ref() {
+            if *version == self.version {
+                return pops.clone();
+            }
+        }
+        let pops: Vec<f64> = (0..self.pages.len() as u32)
             .map(|p| self.popularity(p))
-            .collect()
+            .collect();
+        *guard = Some((self.version, pops.clone()));
+        pops
     }
 
     /// Current user awareness `A(p,t)`.
@@ -420,13 +509,99 @@ impl World {
     /// The link graph as of time `t <= now`, over all page ids (pages not
     /// yet born appear isolated). Node ids equal page indices.
     pub fn link_graph_at(&self, t: f64) -> CsrGraph {
-        self.links.graph_at_full(t)
+        (*self.link_graph_arc(t)).clone()
+    }
+
+    /// Shared handle to the materialized link graph as of `t` — memoized
+    /// on `(world state, t)`, so the per-step hot paths (PageRank
+    /// refresh, crawler, metrics) that all ask for the current graph
+    /// rebuild it at most once per mutation instead of replaying the
+    /// whole event log on every call.
+    pub fn link_graph_arc(&self, t: f64) -> Arc<CsrGraph> {
+        let mut guard = self.cached_graph.lock().expect("graph cache poisoned");
+        if let Some(c) = guard.as_ref() {
+            if c.version == self.version && c.time.to_bits() == t.to_bits() {
+                return Arc::clone(&c.graph);
+            }
+        }
+        let g = Arc::new(self.links.graph_at_full(t));
+        *guard = Some(GraphCache {
+            version: self.version,
+            time: t,
+            graph: Arc::clone(&g),
+        });
+        g
+    }
+
+    /// Set the number of worker threads the visit phase may use. Purely
+    /// an execution knob: the history is bit-identical for every value
+    /// (see the module docs). Clamped to at least 1.
+    pub fn set_thread_budget(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads the visit phase will use.
+    pub fn thread_budget(&self) -> usize {
+        self.threads
     }
 
     /// The link graph restricted to pages alive at `t`, plus the mapping
     /// `node -> page id`.
     pub fn alive_graph_at(&self, t: f64) -> (CsrGraph, Vec<NodeId>) {
         self.links.snapshot_at(t)
+    }
+}
+
+/// Visits to one page within one step, drawn from the page's own
+/// `(seed, step, page)` stream. Each visit is by a uniformly random user
+/// (Proposition 2); only visits by currently-unaware users change any
+/// state, so the Poisson visit stream is thinned to its discovery
+/// events: discoveries ~ Binomial(visits, unaware/n), each by a
+/// uniformly random unaware user. (Within one step the thinning
+/// probability is held at its start-of-step value — an O(dt²)
+/// approximation, like the step discretization itself.) Awareness is
+/// updated in place; like events append to `likes` in discovery order.
+#[allow(clippy::too_many_arguments)]
+fn visit_page(
+    num_users: usize,
+    dt: f64,
+    seed: u64,
+    step: u64,
+    page: u32,
+    weight: f64,
+    quality: f64,
+    aware: &mut SampleSet,
+    likes: &mut Vec<(u32, u32)>,
+) {
+    let lambda = weight * dt;
+    if lambda <= 0.0 {
+        return;
+    }
+    let unaware = num_users - aware.len();
+    if unaware == 0 {
+        return; // saturated: visits cannot change anything
+    }
+    let mut rng = StreamRng::for_page(seed, step, u64::from(page));
+    let visits = sample_poisson(&mut rng, lambda);
+    if visits == 0 {
+        return;
+    }
+    let discoveries =
+        binomial(&mut rng, visits, unaware as f64 / num_users as f64).min(unaware as u64);
+    for _ in 0..discoveries {
+        // rejection-sample an unaware user; expected trials n/unaware,
+        // total work bounded by n bit tests
+        let user = loop {
+            let u = rng.random_range(0..num_users) as u32;
+            if !aware.contains(u) {
+                break u;
+            }
+        };
+        aware.insert(user);
+        // first discovery: like with probability Q(p)
+        if rng.random::<f64>() < quality {
+            likes.push((page, user));
+        }
     }
 }
 
