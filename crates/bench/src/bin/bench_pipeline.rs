@@ -18,6 +18,7 @@
 
 use std::time::Instant;
 
+use qrank_bench::obs::obs_section;
 use qrank_core::{run_pipeline, PipelineConfig};
 use qrank_graph::SnapshotSeries;
 use qrank_serve::json::{array, Obj};
@@ -65,9 +66,11 @@ struct RunResult {
     total_seconds: f64,
     fingerprint: u64,
     improvement_factor: f64,
+    obs: String,
 }
 
 fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult {
+    qrank_obs::reset();
     qrank_rank::set_thread_budget(threads);
     let total_started = Instant::now();
     let mut world = World::bootstrap(cfg).expect("bootstrap");
@@ -104,6 +107,7 @@ fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult
         total_seconds,
         fingerprint: sim_fingerprint(&world),
         improvement_factor: report.improvement_factor(),
+        obs: obs_section(),
     }
 }
 
@@ -135,6 +139,11 @@ fn main() {
         ..Default::default()
     };
     let snapshot_times = [burn_in, burn_in + 0.5, burn_in + 1.0, burn_in + 2.5];
+    // observability stays on for every run: the per-run `obs` section
+    // records solver iteration counts and simulator activity, and the
+    // fingerprint assert below doubles as the instrumented-determinism
+    // check on the real workload.
+    qrank_obs::set_enabled(true);
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
         "BENCH-PIPELINE: {} mode, seed {seed}, host_cpus {host_cpus}",
@@ -189,6 +198,7 @@ fn main() {
                     .num("total_seconds", r.total_seconds)
                     .str("sim_fingerprint", &format!("{:016x}", r.fingerprint))
                     .num("improvement_factor", r.improvement_factor)
+                    .raw("obs", &r.obs)
                     .finish()
             })),
         )

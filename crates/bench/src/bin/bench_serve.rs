@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use qrank_bench::obs::obs_section;
 use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
 use qrank_serve::json::Obj;
 use qrank_serve::{
@@ -54,6 +55,11 @@ fn main() {
             s => seed = s.parse().expect("bad seed"),
         }
     }
+    // record solver convergence and refresh spans for the report's
+    // `obs` section; the request hot path keeps its own per-instance
+    // registry, so this only instruments seeding and refresh.
+    qrank_obs::set_enabled(true);
+    qrank_obs::reset();
     let mut rng = StdRng::seed_from_u64(seed);
     let edges = growing_web(pages, 4, &mut rng);
     let page_ids: Vec<PageId> = (0..pages as u64).map(PageId).collect();
@@ -163,6 +169,7 @@ fn main() {
         .int("refresh_errors", refresh_errors.len() as u64)
         .int("refresh_window", engine.series().len() as u64)
         .bool("meets_10k_rps", meets_target)
+        .raw("obs", &obs_section())
         .finish();
     std::fs::write("BENCH_serve.json", format!("{json}\n")).unwrap();
     println!("  wrote BENCH_serve.json");

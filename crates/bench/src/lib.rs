@@ -24,6 +24,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod obs;
 pub mod scenario;
 pub mod table;
 pub mod traffic;

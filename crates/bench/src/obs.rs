@@ -1,0 +1,64 @@
+//! Observability sections for the `BENCH_*.json` reports.
+//!
+//! Benches enable [`qrank_obs`] around each measured run and embed a
+//! compact summary of the process-global registry — counters by name
+//! plus per-span timing rollups — so a regression in, say, solver
+//! iteration counts or simulator cache hit rate shows up in the bench
+//! artifact next to the wall-clock numbers it explains.
+
+use qrank_serve::json::{array, Obj};
+
+/// Snapshot the global observability registry as a JSON object:
+/// `{"counters": [{name, value}...], "spans": [{name, count,
+/// total_seconds, mean_us, p99_us}...]}`.
+///
+/// Call [`qrank_obs::reset`] before the measured region so the section
+/// covers exactly one run.
+pub fn obs_section() -> String {
+    let snap = qrank_obs::global().snapshot();
+    let counters = array(
+        snap.counters
+            .iter()
+            .map(|(name, value)| Obj::new().str("name", name).int("value", *value).finish()),
+    );
+    let spans = array(
+        snap.histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with("span."))
+            .map(|(name, h)| {
+                Obj::new()
+                    .str("name", name)
+                    .int("count", h.count)
+                    .num("total_seconds", h.sum as f64 / 1e9)
+                    .num("mean_us", h.mean() / 1_000.0)
+                    .num("p99_us", h.percentile(0.99) / 1_000.0)
+                    .finish()
+            }),
+    );
+    Obj::new()
+        .raw("counters", &counters)
+        .raw("spans", &spans)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_reflects_recorded_activity() {
+        qrank_obs::set_enabled(true);
+        qrank_obs::reset();
+        qrank_obs::global().counter("bench.test.counter").add(7);
+        {
+            let _span = qrank_obs::span!("bench.test");
+        }
+        let json = obs_section();
+        assert!(
+            json.contains(r#""name":"bench.test.counter","value":7"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""name":"span.bench.test""#), "{json}");
+        qrank_obs::set_enabled(false);
+    }
+}

@@ -20,7 +20,11 @@ options:
   --out FILE         write the JSON report to FILE (default stdout)
 
 the report includes total requests, error count, elapsed seconds,
-throughput (req/s), and mean/p50/p99 latency in microseconds.";
+throughput (req/s), and mean/p50/p99 latency in microseconds.
+percentiles are linearly interpolated between the sorted per-request
+samples (not snapped to a bucket upper bound or nearest sample), so
+small runs report smooth values; with --pipeline > 1, per-request
+latency is the batch round-trip averaged over the batch.";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {

@@ -5,6 +5,7 @@ pub mod cohort;
 pub mod estimate;
 pub mod generate;
 pub mod model;
+pub mod obs_dump;
 pub mod pagerank;
 pub mod serve;
 pub mod simulate;

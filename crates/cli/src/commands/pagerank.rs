@@ -20,12 +20,15 @@ options:
   --scale S        probability | per-page (default per-page, as in the paper)
   --threads T      parallel solver threads (default 4)
   --top K          print only the top K pages (default: all)
-  --out FILE       write `node<TAB>score` TSV (default stdout)";
+  --out FILE       write `node<TAB>score` TSV (default stdout)
+  --trace FILE     write the solver's per-iteration convergence trace as
+                   `iter<TAB>residual` TSV (PageRank solvers only —
+                   power, gauss-seidel, colored, parallel, auto)";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let allowed = [
-        "graph", "solver", "damping", "scale", "threads", "top", "out",
+        "graph", "solver", "damping", "scale", "threads", "top", "out", "trace",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -48,34 +51,61 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     };
 
     let solver = p.get("solver").unwrap_or("power");
-    let scores = match solver {
-        "power" => pagerank(&g, &cfg).scores,
-        "gauss-seidel" => gauss_seidel(&g, &cfg).scores,
+    // PageRank solvers report per-iteration residuals; the other
+    // rankers have no convergence trace to write.
+    let (scores, residuals) = match solver {
+        "power" => {
+            let r = pagerank(&g, &cfg);
+            (r.scores, Some(r.residuals))
+        }
+        "gauss-seidel" => {
+            let r = gauss_seidel(&g, &cfg);
+            (r.scores, Some(r.residuals))
+        }
         "auto" => {
             let threads: usize = p.get_or("threads", 4, USAGE)?;
-            solve_auto_with(&g, &cfg, None, threads).scores
+            let r = solve_auto_with(&g, &cfg, None, threads);
+            (r.scores, Some(r.residuals))
         }
         "colored" => {
             let threads: usize = p.get_or("threads", 4, USAGE)?;
-            colored_gauss_seidel(&g, &cfg, threads).scores
+            let r = colored_gauss_seidel(&g, &cfg, threads);
+            (r.scores, Some(r.residuals))
         }
         "parallel" => {
             let threads: usize = p.get_or("threads", 4, USAGE)?;
-            parallel_pagerank(&g, &cfg, threads).scores
+            let r = parallel_pagerank(&g, &cfg, threads);
+            (r.scores, Some(r.residuals))
         }
-        "hits" => hits(&g, 1e-10, 200).authorities,
-        "indegree" => indegree_scores(&g),
-        "opic" => {
+        "hits" => (hits(&g, 1e-10, 200).authorities, None),
+        "indegree" => (indegree_scores(&g), None),
+        "opic" => (
             opic(
                 &g,
                 1.0 - damping,
                 g.num_nodes() * 50,
                 OpicPolicy::RoundRobin,
             )
-            .scores
-        }
+            .scores,
+            None,
+        ),
         other => return Err(CliError::usage(format!("unknown solver `{other}`"), USAGE)),
     };
+
+    if let Some(trace_path) = p.get("trace") {
+        let Some(residuals) = &residuals else {
+            return Err(CliError::usage(
+                format!("solver `{solver}` has no per-iteration residual trace"),
+                USAGE,
+            ));
+        };
+        let mut trace = String::new();
+        for (i, r) in residuals.iter().enumerate() {
+            trace.push_str(&format!("{}\t{r:.6e}\n", i + 1));
+        }
+        write_output(Some(trace_path), &trace)?;
+        eprintln!("{} iterations traced to {trace_path}", residuals.len());
+    }
 
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
@@ -153,6 +183,46 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(std::fs::read_to_string(&out).unwrap().lines().count(), 2);
+    }
+
+    #[test]
+    fn trace_writes_one_residual_per_iteration() {
+        let path = write_sample_graph();
+        let dir = path.parent().unwrap();
+        for solver in ["power", "auto"] {
+            let trace = dir.join(format!("{solver}.trace.tsv"));
+            run(&argv(&[
+                "--graph",
+                path.to_str().unwrap(),
+                "--solver",
+                solver,
+                "--trace",
+                trace.to_str().unwrap(),
+                "--out",
+                dir.join("scores.tsv").to_str().unwrap(),
+            ]))
+            .unwrap();
+            let text = std::fs::read_to_string(&trace).unwrap();
+            assert!(text.lines().count() > 1, "{solver}: {text}");
+            let first = text.lines().next().unwrap();
+            assert!(first.starts_with("1\t"), "{solver}: {first}");
+        }
+    }
+
+    #[test]
+    fn trace_rejects_solvers_without_residuals() {
+        let path = write_sample_graph();
+        assert!(matches!(
+            run(&argv(&[
+                "--graph",
+                path.to_str().unwrap(),
+                "--solver",
+                "indegree",
+                "--trace",
+                "/tmp/never-written.tsv",
+            ])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

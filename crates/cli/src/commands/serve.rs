@@ -31,7 +31,8 @@ options:
   --port-file FILE   write the bound address to FILE once listening
 
 protocol (line-delimited JSON over TCP):
-  score <page> | topk <n> | stats | health";
+  score <page> | topk <n> | stats | metrics | health
+  (`metrics` answers in Prometheus text format, terminated by `# EOF`)";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {

@@ -28,12 +28,15 @@ commands:
   estimate   estimate page quality from a snapshot series
   serve      run the quality-score TCP service over a snapshot series
   bench-load load-test a running serve instance, report JSON latencies
+  obs-dump   dump an observability snapshot from a server or pipeline run
   model      print the user-visitation model curves (paper figures 1-3)
   cohort     analytic popularity-vs-quality bias diagnostics
 
-run `qrank <command> --help` for per-command options.";
+run `qrank <command> --help` for per-command options.
+set QRANK_OBS=1 to enable in-process tracing and metrics collection.";
 
 fn main() -> ExitCode {
+    qrank_obs::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
@@ -47,6 +50,7 @@ fn main() -> ExitCode {
         "estimate" => commands::estimate::run(rest),
         "serve" => commands::serve::run(rest),
         "bench-load" => commands::bench_load::run(rest),
+        "obs-dump" => commands::obs_dump::run(rest),
         "model" => commands::model::run(rest),
         "cohort" => commands::cohort::run(rest),
         "--help" | "-h" | "help" => {

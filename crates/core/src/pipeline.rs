@@ -124,19 +124,26 @@ pub fn run_pipeline_with(
     estimator: &dyn QualityEstimator,
     min_relative_change: f64,
 ) -> Result<PipelineReport, CoreError> {
+    let _span = qrank_obs::span!("pipeline.run");
     if series.len() < 3 {
         return Err(CoreError::BadSeries(format!(
             "need >= 3 snapshots (estimation window + held-out future), got {}",
             series.len()
         )));
     }
-    let aligned = series.aligned_to_common()?;
+    let aligned = {
+        let _s = qrank_obs::span!("pipeline.align");
+        series.aligned_to_common()?
+    };
     if aligned.snapshots()[0].num_pages() == 0 {
         return Err(CoreError::BadSeries(
             "no pages common to all snapshots".into(),
         ));
     }
-    let traj = compute_trajectories(&aligned, metric)?;
+    let traj = {
+        let _s = qrank_obs::span!("pipeline.trajectories");
+        compute_trajectories(&aligned, metric)?
+    };
     report_from_trajectories(&traj, estimator, min_relative_change)
 }
 
@@ -152,6 +159,7 @@ pub fn report_from_trajectories(
     estimator: &dyn QualityEstimator,
     min_relative_change: f64,
 ) -> Result<PipelineReport, CoreError> {
+    let _span = qrank_obs::span!("pipeline.estimate");
     if traj.num_snapshots() < 2 {
         return Err(CoreError::BadSeries(format!(
             "need >= 2 trajectory snapshots (estimation window + held-out future), got {}",

@@ -1,0 +1,164 @@
+//! The flight recorder: a bounded ring buffer of recent events.
+//!
+//! Spans, simulator steps, and refresh cycles append small events; the
+//! ring keeps the most recent [`CAPACITY`] of them so a dump answers
+//! "what was the process doing just now" without unbounded memory. The
+//! dump happens on demand (`qrank obs-dump`, [`crate::dump_json`]) or
+//! automatically when a thread panics, if [`install_panic_hook`] was
+//! called.
+//!
+//! Events are timestamped with nanoseconds since the first event the
+//! process recorded (a monotonic epoch), so cross-thread ordering by
+//! `t_ns` is meaningful and wall-clock skew never enters the data.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Maximum retained events; older ones fall off the front.
+pub const CAPACITY: usize = 4096;
+
+/// One flight-recorder entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number (total order of recording).
+    pub seq: u64,
+    /// Event name — a span path (`"pipeline.run/pipeline.align"`) or a
+    /// subsystem tag (`"sim.step"`).
+    pub name: String,
+    /// Nanoseconds since the recorder's monotonic epoch.
+    pub t_ns: u64,
+    /// Duration in nanoseconds (0 for instantaneous events).
+    pub dur_ns: u64,
+    /// Span nesting depth at record time (0 for non-span events).
+    pub depth: u32,
+    /// Free-form detail string (e.g. per-step simulator counts).
+    pub detail: String,
+}
+
+static RING: Mutex<VecDeque<Event>> = Mutex::new(VecDeque::new());
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Append an event (no-op when observability is disabled).
+pub fn record(name: &str, dur_ns: u64, depth: u32, detail: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    let t_ns = epoch().elapsed().as_nanos() as u64;
+    let event = Event {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        name: name.to_string(),
+        t_ns,
+        dur_ns,
+        depth,
+        detail: detail.to_string(),
+    };
+    let mut ring = RING
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if ring.len() == CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(event);
+}
+
+/// Copy out the retained events, oldest first.
+pub fn events() -> Vec<Event> {
+    RING.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Drop every retained event (sequence numbers keep counting).
+pub fn clear() {
+    RING.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+}
+
+/// Render the retained events as a JSON array, oldest first.
+pub fn to_json() -> String {
+    use crate::json::{array, Obj};
+    array(events().into_iter().map(|e| {
+        Obj::new()
+            .int("seq", e.seq)
+            .str("name", &e.name)
+            .int("t_ns", e.t_ns)
+            .int("dur_ns", e.dur_ns)
+            .int("depth", u64::from(e.depth))
+            .str("detail", &e.detail)
+            .finish()
+    }))
+}
+
+/// Install a panic hook (once per process, chaining any existing hook)
+/// that dumps the most recent events to stderr — the flight recorder's
+/// reason for existing.
+pub fn install_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let recent = events();
+            if recent.is_empty() {
+                return;
+            }
+            eprintln!(
+                "--- qrank flight recorder (last {} events) ---",
+                recent.len().min(32)
+            );
+            for e in recent.iter().rev().take(32).rev() {
+                eprintln!(
+                    "  [{:>12}ns] {} dur={}ns depth={} {}",
+                    e.t_ns, e.name, e.dur_ns, e.depth, e.detail
+                );
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_bounded() {
+        let _serial = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        for i in 0..3 {
+            record("t.event", i, 0, "d");
+        }
+        let evs = events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs[0].seq < evs[1].seq && evs[1].seq < evs[2].seq);
+        assert!(evs[0].t_ns <= evs[1].t_ns, "monotonic timestamps");
+        crate::set_enabled(false);
+        record("t.ghost", 0, 0, "");
+        assert_eq!(events().len(), 3, "disabled recorder drops events");
+        clear();
+    }
+
+    #[test]
+    fn json_shape() {
+        let _serial = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        record("t.json", 7, 1, "k=v");
+        let json = to_json();
+        assert!(json.contains(r#""name":"t.json""#));
+        assert!(json.contains(r#""dur_ns":7"#));
+        assert!(json.contains(r#""detail":"k=v""#));
+        crate::set_enabled(false);
+        clear();
+    }
+}

@@ -1,0 +1,66 @@
+//! Registry concurrency: the lock-free claim, checked the blunt way.
+//! N threads hammer shared counter and histogram handles; after joining,
+//! every total must be exact — relaxed atomics lose no increments.
+
+use std::sync::Arc;
+use std::thread;
+
+use qrank_obs::Registry;
+
+const THREADS: u64 = 8;
+const OPS: u64 = 10_000;
+
+#[test]
+fn counters_and_histograms_are_exact_under_contention() {
+    let registry = Arc::new(Registry::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let registry = Arc::clone(&registry);
+        handles.push(thread::spawn(move || {
+            // Half the threads fetch their own handle (exercises the
+            // registration lock under contention), half reuse names.
+            let counter = registry.counter("hammer.count");
+            let histogram = registry.histogram("hammer.latency");
+            for i in 0..OPS {
+                counter.inc();
+                histogram.record(1 + (t * OPS + i) % 1_000);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("hammer.count"), Some(THREADS * OPS));
+    let hist = snap.histogram("hammer.latency").expect("registered");
+    assert_eq!(hist.count, THREADS * OPS);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), THREADS * OPS);
+    // Each thread records the same multiset of values mod 1000, so the
+    // exact sum is computable: values are 1 + (k % 1000) over all k in
+    // [0, THREADS*OPS).
+    let expected_sum: u64 = (0..THREADS * OPS).map(|k| 1 + k % 1_000).sum();
+    assert_eq!(hist.sum, expected_sum);
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric_per_name() {
+    let registry = Arc::new(Registry::new());
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let registry = Arc::clone(&registry);
+        handles.push(thread::spawn(move || {
+            for i in 0..100 {
+                registry.counter(&format!("reg.{}", i % 10)).inc();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.len(), 10);
+    for (_, v) in &snap.counters {
+        assert_eq!(*v, THREADS * 10);
+    }
+}

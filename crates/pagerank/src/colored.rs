@@ -115,6 +115,7 @@ pub fn colored_gauss_seidel_warm(
     warm: Option<&[f64]>,
     threads: usize,
 ) -> PageRankResult {
+    let _span = qrank_obs::span!("rank.colored");
     config.validate();
     assert!(threads >= 1, "need at least one thread");
     let n = g.num_nodes();
@@ -243,6 +244,7 @@ pub fn colored_gauss_seidel_warm(
     // route; project back before scaling.
     crate::power::renormalize(&mut scores);
     apply_scale(&mut scores, config.scale);
+    qrank_obs::convergence::record_solve("colored", n, iterations, converged, &residuals);
     PageRankResult {
         scores,
         iterations,

@@ -37,6 +37,7 @@ pub fn gauss_seidel_warm(
     config: &PageRankConfig,
     warm: Option<&[f64]>,
 ) -> PageRankResult {
+    let _span = qrank_obs::span!("rank.gauss_seidel");
     config.validate();
     let n = g.num_nodes();
     if n == 0 {
@@ -117,6 +118,7 @@ pub fn gauss_seidel_warm(
         }
     }
     apply_scale(&mut x, config.scale);
+    qrank_obs::convergence::record_solve("gauss_seidel", n, iterations, converged, &residuals);
     PageRankResult {
         scores: x,
         iterations,

@@ -70,6 +70,7 @@ pub fn parallel_pagerank_force(
     config: &PageRankConfig,
     num_threads: usize,
 ) -> PageRankResult {
+    let _span = qrank_obs::span!("rank.parallel");
     config.validate();
     assert!(num_threads >= 1, "need at least one thread");
     let n = g.num_nodes();
@@ -168,6 +169,7 @@ pub fn parallel_pagerank_force(
         crate::power::renormalize(&mut x);
     }
     apply_scale(&mut x, config.scale);
+    qrank_obs::convergence::record_solve("parallel", n, iterations, converged, &residuals);
     PageRankResult {
         scores: x,
         iterations,

@@ -134,6 +134,7 @@ pub fn pagerank_warm(
     config: &PageRankConfig,
     warm: Option<&[f64]>,
 ) -> PageRankResult {
+    let _span = qrank_obs::span!("rank.power");
     config.validate();
     let n = g.num_nodes();
     if n == 0 {
@@ -174,6 +175,7 @@ pub fn pagerank_warm(
         renormalize(&mut x);
     }
     apply_scale(&mut x, config.scale);
+    qrank_obs::convergence::record_solve("power", n, iterations, converged, &residuals);
     PageRankResult {
         scores: x,
         iterations,

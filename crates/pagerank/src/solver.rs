@@ -111,7 +111,16 @@ pub fn solve_auto_with(
     warm: Option<&[f64]>,
     threads: usize,
 ) -> PageRankResult {
-    match select_solver(g.num_nodes(), threads.max(1)) {
+    let _span = qrank_obs::span!("rank.solve_auto");
+    let choice = select_solver(g.num_nodes(), threads.max(1));
+    if qrank_obs::enabled() {
+        let tag = match choice {
+            SolverChoice::GaussSeidel => "rank.choice.gauss_seidel",
+            SolverChoice::ColoredGaussSeidel { .. } => "rank.choice.colored",
+        };
+        qrank_obs::global().counter(tag).inc();
+    }
+    match choice {
         SolverChoice::GaussSeidel => gauss_seidel_warm(g, config, warm),
         SolverChoice::ColoredGaussSeidel { threads } => {
             // Degree-ordered relabeling: hub rows first for cache

@@ -14,8 +14,10 @@
 //!   generations without ever blocking readers.
 //! * **Front end** ([`server`]) — a fixed-size thread-pool TCP server
 //!   speaking a line-delimited JSON protocol (`score <page>`,
-//!   `topk <n>`, `stats`, `health`), with an LRU cache for `topk`
-//!   responses, per-request latency counters, and draining shutdown.
+//!   `topk <n>`, `stats`, `metrics`, `health`), with an LRU cache for
+//!   `topk` responses, per-request latency counters backed by a
+//!   `qrank-obs` registry, and draining shutdown. The `metrics` verb
+//!   answers in the Prometheus text format, terminated by `# EOF`.
 //!
 //! [`loadgen`] is the matching closed-loop load generator behind
 //! `qrank bench-load`.
@@ -45,13 +47,17 @@
 
 pub mod cache;
 pub mod error;
-pub mod json;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
 pub mod refresh;
 pub mod server;
 pub mod store;
+
+/// JSON emission lives in `qrank-obs` now (the whole workspace renders
+/// JSON); re-exported here so `qrank_serve::json::{Obj, array}` keeps
+/// working for existing callers.
+pub use qrank_obs::json;
 
 pub use cache::LruCache;
 pub use error::ServeError;

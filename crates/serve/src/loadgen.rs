@@ -2,9 +2,9 @@
 //!
 //! Spawns one client thread per connection; each sends a configurable
 //! mix of `score`/`topk` requests and records per-request latency.
-//! Latencies are merged across connections into exact percentiles and a
-//! throughput figure — the numbers behind the `qrank bench-load` JSON
-//! report.
+//! Latencies are merged across connections; percentiles linearly
+//! interpolate between the sorted samples (no bucket-bound snapping) —
+//! the numbers behind the `qrank bench-load` JSON report.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -180,12 +180,23 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     }
     latencies_ns.sort_unstable();
     let requests = latencies_ns.len() as u64;
+    // Linear interpolation between the two order statistics straddling
+    // the target rank — not the nearest-rank sample, and not a histogram
+    // bucket bound. With the batch-averaged latencies the pipeline
+    // produces, nearest-rank snapped whole percentile steps to one
+    // batch's value; interpolation keeps the report smooth.
     let percentile = |q: f64| -> f64 {
-        if latencies_ns.is_empty() {
-            return 0.0;
+        match latencies_ns.as_slice() {
+            [] => 0.0,
+            [only] => *only as f64 / 1_000.0,
+            samples => {
+                let pos = q.clamp(0.0, 1.0) * (samples.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = pos.ceil() as usize;
+                let frac = pos - lo as f64;
+                (samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac) / 1_000.0
+            }
         }
-        let rank = ((q * requests as f64).ceil() as usize).clamp(1, latencies_ns.len());
-        latencies_ns[rank - 1] as f64 / 1_000.0
     };
     let mean_us = if requests == 0 {
         0.0

@@ -1,102 +1,93 @@
-//! Lock-free request counters and latency histogram.
+//! Serving metrics, backed by the `qrank-obs` registry.
 //!
-//! Workers record each request with one atomic add into a power-of-two
-//! latency bucket; `stats` requests aggregate the buckets into mean /
-//! p50 / p99 without stopping the world. Percentiles are therefore
-//! bucket-resolution estimates (~±50% of the value), which is plenty to
-//! tell a 20µs cache hit from a 2ms rerank stall.
+//! Each server instance owns a private [`qrank_obs::Registry`] — tests
+//! and embedders run several servers per process, and their request
+//! counts must not mix. The handles below are `Arc`-shared atomics, so
+//! the per-request record path is the same handful of relaxed
+//! `fetch_add`s it was when this module rolled its own counters; the
+//! registry buys us names, snapshots, and the Prometheus `metrics` verb
+//! for free.
+//!
+//! Percentiles come from a power-of-two-bucket histogram with linear
+//! interpolation inside the bucket (see
+//! [`qrank_obs::registry::HistogramSnapshot::percentile`]) — estimates,
+//! not exact order statistics, but plenty to tell a 20µs cache hit from
+//! a 2ms rerank stall.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-const BUCKETS: usize = 40; // bucket i covers [2^i, 2^{i+1}) nanoseconds
+use qrank_obs::{Counter, Histogram, Registry};
 
 /// Shared, lock-free serving metrics.
 #[derive(Debug)]
 pub struct Metrics {
     started: Instant,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    total_latency_ns: AtomicU64,
-    latency_buckets: [AtomicU64; BUCKETS],
+    registry: Registry,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    latency: Arc<Histogram>,
 }
 
 impl Metrics {
     /// Fresh metrics with the uptime clock starting now.
     pub fn new() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter("serve.requests");
+        let errors = registry.counter("serve.errors");
+        let cache_hits = registry.counter("serve.cache_hits");
+        let cache_misses = registry.counter("serve.cache_misses");
+        let latency = registry.histogram("serve.latency_ns");
         Metrics {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            total_latency_ns: AtomicU64::new(0),
-            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            registry,
+            requests,
+            errors,
+            cache_hits,
+            cache_misses,
+            latency,
         }
     }
 
     /// Record a successfully-served request that took `nanos`.
     pub fn record(&self, nanos: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.total_latency_ns.fetch_add(nanos, Ordering::Relaxed);
-        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.latency.record(nanos);
     }
 
     /// Record a malformed or failed request.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Record a `topk` cache hit.
     pub fn cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.inc();
     }
 
     /// Record a `topk` cache miss.
     pub fn cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.inc();
+    }
+
+    /// This instance's registry (rendered by the `metrics` verb).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Aggregate the counters into a consistent-enough snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let total_ns = self.total_latency_ns.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self
-            .latency_buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let in_buckets: u64 = buckets.iter().sum();
-        let percentile = |q: f64| -> f64 {
-            if in_buckets == 0 {
-                return 0.0;
-            }
-            let target = (q * in_buckets as f64).ceil() as u64;
-            let mut seen = 0;
-            for (i, &c) in buckets.iter().enumerate() {
-                seen += c;
-                if seen >= target {
-                    // geometric midpoint of [2^i, 2^{i+1})
-                    return (1u64 << i) as f64 * std::f64::consts::SQRT_2 / 1_000.0;
-                }
-            }
-            (1u64 << (BUCKETS - 1)) as f64 / 1_000.0
-        };
+        let latency = self.latency.snapshot();
         MetricsSnapshot {
-            requests,
-            errors: self.errors.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            mean_latency_us: if requests == 0 {
-                0.0
-            } else {
-                total_ns as f64 / requests as f64 / 1_000.0
-            },
-            p50_us: percentile(0.50),
-            p99_us: percentile(0.99),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            mean_latency_us: latency.mean() / 1_000.0,
+            p50_us: latency.percentile(0.50) / 1_000.0,
+            p99_us: latency.percentile(0.99) / 1_000.0,
             uptime_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -187,5 +178,14 @@ mod tests {
         assert_eq!(s.requests, 0);
         assert_eq!(s.p50_us, 0.0);
         assert_eq!(s.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn instances_are_isolated() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.record(500);
+        assert_eq!(a.snapshot().requests, 1);
+        assert_eq!(b.snapshot().requests, 0);
     }
 }

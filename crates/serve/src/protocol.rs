@@ -37,6 +37,10 @@ pub enum Request {
     TopK(usize),
     /// `stats` — serving counters.
     Stats,
+    /// `metrics` — Prometheus text exposition of every registry
+    /// (multi-line; terminated by a `# EOF` line so line-based clients
+    /// can find the end).
+    Metrics,
     /// `health` — liveness / readiness probe.
     Health,
 }
@@ -55,10 +59,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Err(_) => Err(format!("bad topk count {n:?}")),
         },
         ["stats"] => Ok(Request::Stats),
+        ["metrics"] => Ok(Request::Metrics),
         ["health"] => Ok(Request::Health),
         [] => Err("empty request".to_string()),
         [verb, ..] => Err(format!(
-            "unknown command {verb:?} (try: score/topk/stats/health)"
+            "unknown command {verb:?} (try: score/topk/stats/metrics/health)"
         )),
     }
 }
@@ -127,6 +132,29 @@ pub fn render_stats(store: &ScoreStore, m: &MetricsSnapshot) -> String {
         .finish()
 }
 
+/// Render a `metrics` response: Prometheus text exposition of the
+/// server's own registry plus the process-global `qrank-obs` registry,
+/// with two store gauges inlined, terminated by `# EOF`.
+///
+/// The response is multi-line — the one verb that is not a single JSON
+/// line — so the terminator is what lets a line-based client know it
+/// has read everything.
+pub fn render_metrics(store: &ScoreStore, metrics: &crate::metrics::Metrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# TYPE qrank_store_generation gauge\nqrank_store_generation {}\n",
+        store.generation()
+    ));
+    out.push_str(&format!(
+        "# TYPE qrank_store_pages gauge\nqrank_store_pages {}\n",
+        store.len()
+    ));
+    out.push_str(&metrics.registry().snapshot().prometheus_text());
+    out.push_str(&qrank_obs::global().snapshot().prometheus_text());
+    out.push_str("# EOF");
+    out
+}
+
 /// Render a `health` response (`"empty"` until the first generation is
 /// published, `"serving"` after).
 pub fn render_health(store: &ScoreStore) -> String {
@@ -160,6 +188,7 @@ mod tests {
         assert_eq!(parse_request("score 42"), Ok(Request::Score(42)));
         assert_eq!(parse_request("  topk 5  "), Ok(Request::TopK(5)));
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("health"), Ok(Request::Health));
     }
 
@@ -191,6 +220,24 @@ mod tests {
         assert!(
             stats.contains(r#""ok":true"#) && stats.contains(r#""requests":0"#),
             "{stats}"
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_is_prometheus_text_with_terminator() {
+        let store = ScoreStore::empty();
+        let m = Metrics::new();
+        m.record(1_500);
+        m.record_error();
+        let text = render_metrics(&store, &m);
+        assert!(text.starts_with("# TYPE qrank_store_generation gauge"));
+        assert!(text.contains("qrank_store_pages 0"));
+        assert!(text.contains("qrank_serve_requests 1"));
+        assert!(text.contains("qrank_serve_errors 1"));
+        assert!(text.contains("qrank_serve_latency_ns_count 1"));
+        assert!(
+            text.ends_with("# EOF"),
+            "line-based clients need the terminator"
         );
     }
 

@@ -275,6 +275,7 @@ impl RefreshEngine {
     /// snapshots (nothing publishable yet). Uses the cached-column fast
     /// path when the window only grew; otherwise recomputes from scratch.
     pub fn rerank(&mut self) -> Result<Option<RefreshStats>, ServeError> {
+        let _span = qrank_obs::span!("refresh.rerank");
         if self.series.is_empty() {
             return Ok(None);
         }
@@ -342,6 +343,7 @@ impl RefreshEngine {
     /// Apply a delta, snapshot at its time, and rerank — the worker's
     /// per-message unit of work.
     pub fn ingest(&mut self, delta: &EdgeDelta) -> Result<Option<RefreshStats>, ServeError> {
+        let _span = qrank_obs::span!("refresh.ingest");
         self.apply_delta(delta)?;
         self.push_snapshot(delta.time)?;
         self.rerank()

@@ -25,7 +25,8 @@ use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    parse_request, render_error, render_health, render_score, render_stats, render_topk, Request,
+    parse_request, render_error, render_health, render_metrics, render_score, render_stats,
+    render_topk, Request,
 };
 use crate::store::StoreHandle;
 
@@ -216,6 +217,7 @@ pub fn handle_request(
             }
         }
         Request::Stats => render_stats(&current, &metrics.snapshot()),
+        Request::Metrics => render_metrics(&current, metrics),
         Request::Health => render_health(&current),
     };
     metrics.record(started.elapsed().as_nanos() as u64);
@@ -243,6 +245,18 @@ mod tests {
         assert_eq!(s.errors, 1);
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn metrics_verb_answers_prometheus_text() {
+        let store = StoreHandle::new();
+        let metrics = Metrics::new();
+        let cache = Mutex::new(LruCache::new(4));
+        handle_request("health", &store, &metrics, &cache);
+        let text = handle_request("metrics", &store, &metrics, &cache);
+        assert!(text.starts_with("# TYPE "));
+        assert!(text.contains("qrank_serve_requests 1"));
+        assert!(text.ends_with("# EOF"));
     }
 
     #[test]

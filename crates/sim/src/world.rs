@@ -221,8 +221,14 @@ impl World {
 
     /// Advance the simulation by one `dt` step.
     pub fn step(&mut self) -> Result<(), GraphError> {
+        let _span = qrank_obs::span!("sim.step");
         let cfg = self.config;
         self.time += cfg.dt;
+        // Telemetry below only *counts* what the step did — it never
+        // draws randomness or branches the simulation, so enabling
+        // observability cannot perturb the history (see the obs-on/off
+        // fingerprint test in tests/determinism.rs).
+        let links_before = self.like_link_src.len() + self.structural.len();
 
         // 1. Page births.
         let births = sample_poisson(&mut self.rng, cfg.page_birth_rate * cfg.dt);
@@ -251,11 +257,16 @@ impl World {
         // graph event log is order-independent too.
         let visit_weights = self.visit_weights();
         self.steps_taken += 1;
-        for (p, user) in self.visit_phase(&visit_weights) {
+        let (like_events, visits) = self.visit_phase(&visit_weights);
+        let likes = like_events.len() as u64;
+        for (p, user) in like_events {
             self.record_like(p, user)?;
         }
+        let links_created =
+            (self.like_link_src.len() + self.structural.len()).saturating_sub(links_before) as u64;
 
         // 3. Forgetting.
+        let mut forgets = 0u64;
         if cfg.forget_rate > 0.0 {
             let p_forget = (cfg.forget_rate * cfg.dt).min(1.0);
             let num_pages = self.pages.len();
@@ -275,19 +286,41 @@ impl World {
                     }
                     self.aware[p].remove_at(idx);
                     self.forget_like(p as u32, user)?;
+                    forgets += 1;
                 }
             }
+        }
+
+        if qrank_obs::enabled() {
+            let registry = qrank_obs::global();
+            registry.counter("sim.steps").inc();
+            registry.counter("sim.pages_born").add(births);
+            registry.counter("sim.visits").add(visits);
+            registry.counter("sim.likes").add(likes);
+            registry.counter("sim.links_created").add(links_created);
+            registry.counter("sim.forgets").add(forgets);
+            qrank_obs::recorder::record(
+                "sim.step",
+                0,
+                0,
+                &format!(
+                    "step={} t={:.4} births={births} visits={visits} likes={likes} \
+                     links={links_created} forgets={forgets}",
+                    self.steps_taken, self.time
+                ),
+            );
         }
         Ok(())
     }
 
     /// The visit phase of one step: mutates awareness in place and
     /// returns the like events `(page, user)` in page order (discovery
-    /// order within a page). Pages are processed in disjoint contiguous
-    /// chunks on up to [`World::thread_budget`] worker threads; each
-    /// page's randomness comes from its own counter-based stream, so the
+    /// order within a page) plus the total visits drawn (telemetry
+    /// only). Pages are processed in disjoint contiguous chunks on up
+    /// to [`World::thread_budget`] worker threads; each page's
+    /// randomness comes from its own counter-based stream, so the
     /// result is bit-identical for any thread count.
-    fn visit_phase(&mut self, visit_weights: &[f64]) -> Vec<(u32, u32)> {
+    fn visit_phase(&mut self, visit_weights: &[f64]) -> (Vec<(u32, u32)>, u64) {
         let n = self.config.num_users;
         let dt = self.config.dt;
         let seed = self.config.seed;
@@ -298,8 +331,9 @@ impl World {
         let aware = &mut self.aware[..];
         if threads == 1 {
             let mut likes = Vec::new();
+            let mut visits = 0u64;
             for (p, aw) in aware.iter_mut().enumerate() {
-                visit_page(
+                visits += visit_page(
                     n,
                     dt,
                     seed,
@@ -311,7 +345,7 @@ impl World {
                     &mut likes,
                 );
             }
-            return likes;
+            return (likes, visits);
         }
         let chunk = num_pages.div_ceil(threads);
         std::thread::scope(|s| {
@@ -326,9 +360,10 @@ impl World {
                 base += take;
                 handles.push(s.spawn(move || {
                     let mut likes = Vec::new();
+                    let mut visits = 0u64;
                     for (i, aw) in head.iter_mut().enumerate() {
                         let p = lo + i;
-                        visit_page(
+                        visits += visit_page(
                             n,
                             dt,
                             seed,
@@ -340,14 +375,18 @@ impl World {
                             &mut likes,
                         );
                     }
-                    likes
+                    (likes, visits)
                 }));
             }
             // joining in spawn order keeps the events in page order
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("visit worker panicked"))
-                .collect()
+            let mut all_likes = Vec::new();
+            let mut visits = 0u64;
+            for h in handles {
+                let (likes, v) = h.join().expect("visit worker panicked");
+                all_likes.extend(likes);
+                visits += v;
+            }
+            (all_likes, visits)
         })
     }
 
@@ -475,8 +514,14 @@ impl World {
         let mut guard = self.cached_pops.lock().expect("popularity cache poisoned");
         if let Some((version, pops)) = guard.as_ref() {
             if *version == self.version {
+                if qrank_obs::enabled() {
+                    qrank_obs::global().counter("sim.pops_cache.hit").inc();
+                }
                 return pops.clone();
             }
+        }
+        if qrank_obs::enabled() {
+            qrank_obs::global().counter("sim.pops_cache.miss").inc();
         }
         let pops: Vec<f64> = (0..self.pages.len() as u32)
             .map(|p| self.popularity(p))
@@ -521,8 +566,14 @@ impl World {
         let mut guard = self.cached_graph.lock().expect("graph cache poisoned");
         if let Some(c) = guard.as_ref() {
             if c.version == self.version && c.time.to_bits() == t.to_bits() {
+                if qrank_obs::enabled() {
+                    qrank_obs::global().counter("sim.graph_cache.hit").inc();
+                }
                 return Arc::clone(&c.graph);
             }
+        }
+        if qrank_obs::enabled() {
+            qrank_obs::global().counter("sim.graph_cache.miss").inc();
         }
         let g = Arc::new(self.links.graph_at_full(t));
         *guard = Some(GraphCache {
@@ -561,6 +612,8 @@ impl World {
 /// probability is held at its start-of-step value — an O(dt²)
 /// approximation, like the step discretization itself.) Awareness is
 /// updated in place; like events append to `likes` in discovery order.
+/// Returns the number of visits drawn (telemetry only — pages whose
+/// stream is never sampled report 0).
 #[allow(clippy::too_many_arguments)]
 fn visit_page(
     num_users: usize,
@@ -572,19 +625,19 @@ fn visit_page(
     quality: f64,
     aware: &mut SampleSet,
     likes: &mut Vec<(u32, u32)>,
-) {
+) -> u64 {
     let lambda = weight * dt;
     if lambda <= 0.0 {
-        return;
+        return 0;
     }
     let unaware = num_users - aware.len();
     if unaware == 0 {
-        return; // saturated: visits cannot change anything
+        return 0; // saturated: visits cannot change anything
     }
     let mut rng = StreamRng::for_page(seed, step, u64::from(page));
     let visits = sample_poisson(&mut rng, lambda);
     if visits == 0 {
-        return;
+        return 0;
     }
     let discoveries =
         binomial(&mut rng, visits, unaware as f64 / num_users as f64).min(unaware as u64);
@@ -603,6 +656,7 @@ fn visit_page(
             likes.push((page, user));
         }
     }
+    visits
 }
 
 #[cfg(test)]

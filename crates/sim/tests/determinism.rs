@@ -92,6 +92,34 @@ fn pagerank_visit_model_is_thread_count_independent() {
 }
 
 #[test]
+fn observability_does_not_perturb_the_history() {
+    // Telemetry counts what a step did; it must never touch the RNG or
+    // branch the simulation. Run the same config with observability off
+    // and on (including the forgetting + multi-thread paths) and demand
+    // bit-identical fingerprints.
+    let cfg = SimConfig {
+        forget_rate: 0.8,
+        ..base_config()
+    };
+    qrank_obs::set_enabled(false);
+    let off = run(cfg, 2, 2.0);
+    qrank_obs::set_enabled(true);
+    let on = run(cfg, 2, 2.0);
+    qrank_obs::set_enabled(false);
+    assert_eq!(
+        fingerprint(&off),
+        fingerprint(&on),
+        "history diverged with observability enabled"
+    );
+    // and the telemetry actually recorded the steps it watched
+    let steps = qrank_obs::global()
+        .snapshot()
+        .counter("sim.steps")
+        .unwrap_or(0);
+    assert!(steps >= 40, "expected ~40 steps counted, saw {steps}");
+}
+
+#[test]
 fn thread_budget_is_not_part_of_the_config() {
     // The knob is runtime-only: two worlds with the same config but
     // different budgets still compare equal in every observable — so
