@@ -189,7 +189,7 @@ pub fn noise_sweep(scale: Scale, seed: u64, alphas: &[f64]) -> Vec<AblationRow> 
             let traj =
                 qrank_core::trajectory::compute_trajectories(&aligned, &metric).expect("traj");
             let k = traj.num_snapshots();
-            let past = traj.truncated(k - 1);
+            let past = traj.truncated(k - 1).expect("truncate");
             let smoothed = if alpha < 1.0 {
                 ewma_smooth(&past, alpha)
             } else {

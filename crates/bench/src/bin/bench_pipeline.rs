@@ -19,8 +19,8 @@
 use std::time::Instant;
 
 use qrank_bench::obs::obs_section;
-use qrank_core::{run_pipeline, PipelineConfig};
-use qrank_graph::SnapshotSeries;
+use qrank_core::{run_pipeline, PipelineConfig, PipelineEngine, StageStats};
+use qrank_graph::{Snapshot, SnapshotSeries};
 use qrank_serve::json::{array, Obj};
 use qrank_sim::{Crawler, QualityDist, SimConfig, World};
 
@@ -69,7 +69,11 @@ struct RunResult {
     obs: String,
 }
 
-fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult {
+fn run_once(
+    cfg: SimConfig,
+    threads: usize,
+    snapshot_times: &[f64],
+) -> (RunResult, World, SnapshotSeries) {
     qrank_obs::reset();
     qrank_rank::set_thread_budget(threads);
     let total_started = Instant::now();
@@ -97,7 +101,7 @@ fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult
     let total_seconds = total_started.elapsed().as_secs_f64();
     qrank_rank::set_thread_budget(0);
 
-    RunResult {
+    let result = RunResult {
         threads,
         pages: world.num_pages(),
         common_pages: report.pages.len(),
@@ -108,6 +112,92 @@ fn run_once(cfg: SimConfig, threads: usize, snapshot_times: &[f64]) -> RunResult
         fingerprint: sim_fingerprint(&world),
         improvement_factor: report.improvement_factor(),
         obs: obs_section(),
+    };
+    (result, world, series)
+}
+
+struct SlideResult {
+    tracked_pages: usize,
+    cold: StageStats,
+    slide: StageStats,
+    slide_seconds: f64,
+    rank_solves: u64,
+    column_hit_rate: f64,
+    obs: String,
+}
+
+fn stats_obj(s: &StageStats) -> String {
+    Obj::new()
+        .int("restrict_hits", s.restrict_hits)
+        .int("restrict_misses", s.restrict_misses)
+        .int("column_hits", s.column_hits)
+        .int("column_misses", s.column_misses)
+        .finish()
+}
+
+/// Serve-style incremental refresh on the benched workload: track the
+/// corpus known at the first snapshot, run the stage engine cold over
+/// the existing window, then slide the window by one freshly crawled
+/// snapshot. Because the tracked corpus is fixed, the common page set
+/// survives the slide and the engine must reuse every surviving
+/// trajectory column — the slide solves exactly one column (the new
+/// snapshot's), which the `rank.solve.*` counters prove.
+fn window_slide(mut world: World, series: &SnapshotSeries, extra_time: f64) -> SlideResult {
+    qrank_rank::set_thread_budget(1);
+    let tracked = series.snapshots()[0].pages.clone();
+    let restrict = |snap: &Snapshot| snap.restrict_to(&tracked).expect("tracked pages never die");
+
+    let mut snaps: Vec<Snapshot> = series.snapshots().iter().map(restrict).collect();
+    let crawler = Crawler::default();
+    world.run_until(extra_time);
+    snaps.push(restrict(&crawler.crawl(&world, extra_time).expect("crawl")));
+    let window = |range: std::ops::Range<usize>| {
+        let mut s = SnapshotSeries::new();
+        for snap in &snaps[range] {
+            s.push(snap.clone()).expect("snapshot times ascend");
+        }
+        s
+    };
+
+    let cfg = PipelineConfig::default();
+    let mut engine = PipelineEngine::new(cfg.metric.clone());
+    engine
+        .run_config(&window(0..snaps.len() - 1), &cfg)
+        .expect("cold engine run");
+    let cold = engine.stats();
+
+    // measure the slide alone: obs counters cover exactly this run
+    qrank_obs::reset();
+    let started = Instant::now();
+    engine
+        .run_config(&window(1..snaps.len()), &cfg)
+        .expect("slide engine run");
+    let slide_seconds = started.elapsed().as_secs_f64();
+    let slide = engine.stats();
+    qrank_rank::set_thread_budget(0);
+
+    let obs = obs_section();
+    let rank_solves: u64 = qrank_obs::global()
+        .snapshot()
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("rank.solve."))
+        .map(|&(_, v)| v)
+        .sum();
+    let total_columns = slide.column_hits + slide.column_misses;
+    let column_hit_rate = if total_columns == 0 {
+        0.0
+    } else {
+        slide.column_hits as f64 / total_columns as f64
+    };
+    SlideResult {
+        tracked_pages: tracked.len(),
+        cold,
+        slide,
+        slide_seconds,
+        rank_solves,
+        column_hit_rate,
+        obs,
     }
 }
 
@@ -150,25 +240,25 @@ fn main() {
         if full { "full" } else { "small" }
     );
 
-    let runs: Vec<RunResult> = [1usize, 2, 8]
-        .iter()
-        .map(|&threads| {
-            let r = run_once(cfg, threads, &snapshot_times);
-            println!(
-                "  {} threads: {} pages ({} common) | sim {:.2}s, snapshot {:.2}s, \
-                 rank+estimate {:.2}s, total {:.2}s | fingerprint {:016x}",
-                r.threads,
-                r.pages,
-                r.common_pages,
-                r.sim_seconds,
-                r.snapshot_seconds,
-                r.rank_estimate_seconds,
-                r.total_seconds,
-                r.fingerprint
-            );
-            r
-        })
-        .collect();
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut last_run = None;
+    for &threads in &[1usize, 2, 8] {
+        let (r, world, series) = run_once(cfg, threads, &snapshot_times);
+        println!(
+            "  {} threads: {} pages ({} common) | sim {:.2}s, snapshot {:.2}s, \
+             rank+estimate {:.2}s, total {:.2}s | fingerprint {:016x}",
+            r.threads,
+            r.pages,
+            r.common_pages,
+            r.sim_seconds,
+            r.snapshot_seconds,
+            r.rank_estimate_seconds,
+            r.total_seconds,
+            r.fingerprint
+        );
+        runs.push(r);
+        last_run = Some((world, series));
+    }
 
     let bit_identical = runs.iter().all(|r| r.fingerprint == runs[0].fingerprint);
     assert!(
@@ -179,6 +269,37 @@ fn main() {
     let speedup_8t = runs[0].total_seconds / runs[2].total_seconds;
     println!("  sim bit-identical across 1/2/8 threads: OK");
     println!("  total speedup: {speedup_2t:.2}x at 2 threads, {speedup_8t:.2}x at 8 threads");
+
+    let (world, series) = last_run.expect("three runs completed");
+    let ws = window_slide(world, &series, burn_in + 3.0);
+    println!(
+        "  window slide: {} columns reused, {} solved ({} rank solves) in {:.2}s \
+         | column hit rate {:.0}%",
+        ws.slide.columns_reused(),
+        ws.slide.columns_solved(),
+        ws.rank_solves,
+        ws.slide_seconds,
+        ws.column_hit_rate * 100.0
+    );
+    // the stage engine's reason to exist: a window slide that reuses no
+    // cached columns means fingerprint-keyed invalidation is broken
+    if ws.slide.column_hits == 0 {
+        eprintln!(
+            "FAIL: window-slide refresh reported a zero stage-cache hit rate \
+             ({} hits / {} misses)",
+            ws.slide.column_hits, ws.slide.column_misses
+        );
+        std::process::exit(1);
+    }
+    assert_eq!(
+        ws.slide.columns_solved(),
+        1,
+        "a window slide over a fixed corpus must solve only the new snapshot's column"
+    );
+    assert_eq!(
+        ws.rank_solves, 1,
+        "rank.solve.* counters must record exactly one solve during the slide"
+    );
 
     let json = Obj::new()
         .str("mode", if full { "full" } else { "small" })
@@ -205,6 +326,18 @@ fn main() {
         .bool("sim_bit_identical", bit_identical)
         .num("speedup_2_threads", speedup_2t)
         .num("speedup_8_threads", speedup_8t)
+        .raw(
+            "window_slide",
+            &Obj::new()
+                .int("tracked_pages", ws.tracked_pages as u64)
+                .raw("cold", &stats_obj(&ws.cold))
+                .raw("slide", &stats_obj(&ws.slide))
+                .num("slide_seconds", ws.slide_seconds)
+                .int("rank_solves", ws.rank_solves)
+                .num("column_hit_rate", ws.column_hit_rate)
+                .raw("obs", &ws.obs)
+                .finish(),
+        )
         .str(
             "note",
             &format!(

@@ -8,8 +8,8 @@
 
 use qrank_core::smoothing::AdaptiveWindow;
 use qrank_core::{
-    run_pipeline_with, CurrentPopularity, DerivativeOnly, PaperEstimator, PopularityMetric,
-    QualityEstimator,
+    run_pipeline_with, CurrentPopularity, DerivativeOnly, PaperEstimator, PipelineEngine,
+    PipelineReport, PopularityMetric, QualityEstimator,
 };
 use qrank_graph::io::{decode_series, read_edge_list};
 use qrank_graph::{PageId, Snapshot, SnapshotSeries};
@@ -27,6 +27,9 @@ options:
   --estimator E     paper | adaptive | derivative | current (default paper)
   --metric M        pagerank | indegree (default pagerank)
   --min-change X    report filter on relative change (default 0.05)
+  --window W        slide a W-snapshot window through the series via one
+                    stage engine, printing per-step cache stats; the
+                    printed report comes from the final window (W >= 3)
   --out FILE        per-page TSV: page, trend, current, estimate, future, errors
   --top K           also print the top K pages by estimated quality
 
@@ -42,6 +45,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "estimator",
         "metric",
         "min-change",
+        "window",
         "out",
         "top",
     ];
@@ -85,8 +89,13 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             ))
         }
     };
-    let report = run_pipeline_with(&series, &metric, estimator, min_change)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let window: usize = p.get_or("window", 0, USAGE)?;
+    let report = if window > 0 {
+        sliding_sweep(&series, window, &metric, estimator, min_change)?
+    } else {
+        run_pipeline_with(&series, &metric, estimator, min_change)
+            .map_err(|e| CliError::Runtime(e.to_string()))?
+    };
 
     println!(
         "{} snapshots, {} common pages, {} selected (changed > {:.0}%), estimator `{}`",
@@ -126,6 +135,58 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// Slide a `window`-snapshot window from the start of the series to its
+/// end through a single [`PipelineEngine`], printing how much of each
+/// step the fingerprint-keyed stage caches absorbed. The returned report
+/// is the final window's — identical to a cold pipeline run on that
+/// window.
+fn sliding_sweep(
+    series: &SnapshotSeries,
+    window: usize,
+    metric: &PopularityMetric,
+    estimator: &dyn QualityEstimator,
+    min_change: f64,
+) -> Result<PipelineReport, CliError> {
+    if window < 3 {
+        return Err(CliError::usage(
+            format!("--window must be at least 3 (got {window})"),
+            USAGE,
+        ));
+    }
+    if window > series.len() {
+        return Err(CliError::usage(
+            format!(
+                "--window {window} exceeds the series length {}",
+                series.len()
+            ),
+            USAGE,
+        ));
+    }
+    let mut engine = PipelineEngine::new(metric.clone());
+    let mut report = None;
+    for end in window..=series.len() {
+        let mut win = SnapshotSeries::new();
+        for snap in &series.snapshots()[end - window..end] {
+            win.push(snap.clone())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+        }
+        let r = engine
+            .run(&win, estimator, min_change)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let stats = engine.stats();
+        println!(
+            "window [{}..{}): {} columns solved, {} reused ({} aligned snapshots rebuilt)",
+            end - window,
+            end,
+            stats.columns_solved(),
+            stats.columns_reused(),
+            stats.restrict_misses
+        );
+        report = Some(r);
+    }
+    report.ok_or_else(|| CliError::Runtime("empty sweep".into()))
 }
 
 fn load_series(p: &crate::args::Parsed) -> Result<SnapshotSeries, CliError> {
@@ -287,6 +348,33 @@ mod tests {
             ])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn sliding_window_sweep_runs_and_validates() {
+        let files = write_growing_snapshots();
+        let list = files
+            .iter()
+            .map(|p| p.to_str().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        run(&argv(&[
+            "--graphs", &list, "--times", "0,1,2,6", "--window", "3",
+        ]))
+        .unwrap();
+        // a window as long as the series degenerates to one cold run
+        run(&argv(&[
+            "--graphs", &list, "--times", "0,1,2,6", "--window", "4",
+        ]))
+        .unwrap();
+        for bad in ["2", "9"] {
+            assert!(matches!(
+                run(&argv(&[
+                    "--graphs", &list, "--times", "0,1,2,6", "--window", bad,
+                ])),
+                Err(CliError::Usage(_))
+            ));
+        }
     }
 
     #[test]

@@ -80,12 +80,18 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Runtime(e.to_string()))?;
     let store = handle.current();
     let server = serve(handle, &server_cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let seeded = engine.stage_stats();
     eprintln!(
         "serving {} pages (generation {}, window of {} snapshots) on {}",
         store.len(),
         store.generation(),
         series.len(),
         server.addr()
+    );
+    eprintln!(
+        "seed pipeline: {} trajectory columns solved, {} reused from the stage cache",
+        seeded.columns_solved(),
+        seeded.columns_reused()
     );
     if let Some(path) = p.get("port-file") {
         std::fs::write(path, server.addr().to_string())?;

@@ -39,6 +39,7 @@
 
 pub mod classify;
 pub mod correlation;
+pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod evaluation;
@@ -50,6 +51,7 @@ pub mod smoothing;
 pub mod trajectory;
 
 pub use classify::{classify_trend, Trend};
+pub use engine::{PipelineEngine, StageStats};
 pub use error::CoreError;
 pub use estimator::{
     CurrentPopularity, DerivativeOnly, LogisticFit, PaperEstimator, QualityEstimator,

@@ -18,9 +18,9 @@
 use qrank_graph::{PageId, SnapshotSeries};
 
 use crate::classify::{classify_all, Trend};
+use crate::engine::PipelineEngine;
 use crate::estimator::{PaperEstimator, QualityEstimator};
 use crate::evaluation::{relative_error, EvalSummary};
-use crate::trajectory::compute_trajectories;
 use crate::{CoreError, PopularityMetric, PopularityTrajectories};
 
 /// Pipeline configuration.
@@ -118,33 +118,18 @@ pub fn run_pipeline(
 }
 
 /// Run the pipeline with an arbitrary estimator.
+///
+/// This is one cold pass of the stage engine: a throwaway
+/// [`PipelineEngine`] with empty caches, so every stage recomputes. A
+/// long-lived engine produces bitwise-identical reports while reusing
+/// the artifacts a window change left valid — see [`crate::engine`].
 pub fn run_pipeline_with(
     series: &SnapshotSeries,
     metric: &PopularityMetric,
     estimator: &dyn QualityEstimator,
     min_relative_change: f64,
 ) -> Result<PipelineReport, CoreError> {
-    let _span = qrank_obs::span!("pipeline.run");
-    if series.len() < 3 {
-        return Err(CoreError::BadSeries(format!(
-            "need >= 3 snapshots (estimation window + held-out future), got {}",
-            series.len()
-        )));
-    }
-    let aligned = {
-        let _s = qrank_obs::span!("pipeline.align");
-        series.aligned_to_common()?
-    };
-    if aligned.snapshots()[0].num_pages() == 0 {
-        return Err(CoreError::BadSeries(
-            "no pages common to all snapshots".into(),
-        ));
-    }
-    let traj = {
-        let _s = qrank_obs::span!("pipeline.trajectories");
-        compute_trajectories(&aligned, metric)?
-    };
-    report_from_trajectories(&traj, estimator, min_relative_change)
+    PipelineEngine::new(metric.clone()).run(series, estimator, min_relative_change)
 }
 
 /// Build a [`PipelineReport`] from already-computed popularity
@@ -167,7 +152,7 @@ pub fn report_from_trajectories(
         )));
     }
     let k = traj.num_snapshots();
-    let past = traj.truncated(k - 1);
+    let past = traj.truncated(k - 1)?;
     if past.num_snapshots() < estimator.min_snapshots() {
         return Err(CoreError::Estimator(format!(
             "{} needs {} snapshots in the estimation window, have {}",
@@ -176,16 +161,22 @@ pub fn report_from_trajectories(
             past.num_snapshots()
         )));
     }
-    let future: Vec<f64> = traj
-        .values
-        .iter()
-        .map(|v| *v.last().expect("non-empty"))
-        .collect();
-    let current: Vec<f64> = past
-        .values
-        .iter()
-        .map(|v| *v.last().expect("non-empty"))
-        .collect();
+    // Rows are non-empty by construction after `truncated` validated
+    // them against `k`, but malformed hand-built trajectories must come
+    // back as an error, not a panic in the refresh worker.
+    let row_tail = |values: &[Vec<f64>]| -> Result<Vec<f64>, CoreError> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.last()
+                    .copied()
+                    .ok_or_else(|| CoreError::BadSeries(format!("empty trajectory row {i}")))
+            })
+            .collect()
+    };
+    let future = row_tail(&traj.values)?;
+    let current = row_tail(&past.values)?;
     let estimates = estimator.estimate(&past)?;
     let trends = classify_all(&past.values, 0.0);
     let change = past.relative_change();
@@ -384,6 +375,7 @@ mod tests {
     #[test]
     fn report_from_trajectories_matches_pipeline() {
         use crate::estimator::PaperEstimator;
+        use crate::trajectory::compute_trajectories;
         let series = rising_series();
         let cfg = PipelineConfig::default();
         let full = run_pipeline(&series, &cfg).unwrap();

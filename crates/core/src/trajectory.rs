@@ -42,27 +42,41 @@ impl PopularityTrajectories {
 
     /// Restrict to the first `k` snapshots (e.g. hold out the last one as
     /// the "future" in the paper's evaluation).
-    pub fn truncated(&self, k: usize) -> PopularityTrajectories {
-        assert!(
-            k >= 1 && k <= self.num_snapshots(),
-            "bad truncation length {k}"
-        );
-        PopularityTrajectories {
+    ///
+    /// Errors on an out-of-range `k` or a ragged trajectory (a row with
+    /// fewer than `k` values) — these reach the serving refresh path, so
+    /// malformed input must degrade to an error reply, not a panic.
+    pub fn truncated(&self, k: usize) -> Result<PopularityTrajectories, CoreError> {
+        if k < 1 || k > self.num_snapshots() {
+            return Err(CoreError::BadSeries(format!(
+                "bad truncation length {k} for {} snapshots",
+                self.num_snapshots()
+            )));
+        }
+        if let Some(short) = self.values.iter().position(|v| v.len() < k) {
+            return Err(CoreError::BadSeries(format!(
+                "trajectory row {short} has {} values, need {k}",
+                self.values[short].len()
+            )));
+        }
+        Ok(PopularityTrajectories {
             times: self.times[..k].to_vec(),
             values: self.values.iter().map(|v| v[..k].to_vec()).collect(),
             pages: self.pages.clone(),
-        }
+        })
     }
 
     /// Relative change `|v_last − v_first| / v_first` per page; infinite
     /// when the page started at zero and grew. Used for the paper's
-    /// "changed more than 5%" report filter.
+    /// "changed more than 5%" report filter. Empty rows read as "no
+    /// change".
     pub fn relative_change(&self) -> Vec<f64> {
         self.values
             .iter()
             .map(|v| {
-                let first = v[0];
-                let last = *v.last().expect("non-empty trajectory");
+                let (Some(&first), Some(&last)) = (v.first(), v.last()) else {
+                    return 0.0;
+                };
                 if first == 0.0 {
                     if last == 0.0 {
                         0.0
@@ -97,16 +111,17 @@ pub fn compute_trajectories(
     let times = series.times();
     let n = pages.len();
     let mut values = vec![Vec::with_capacity(times.len()); n];
-    // Consecutive snapshots differ by a small edge delta, so warm-start
-    // each PageRank solve from the previous snapshot's vector.
-    let mut prev: Option<Vec<f64>> = None;
+    // Every column is solved from the metric's canonical start, never
+    // warm-started from a neighboring snapshot: each column is then a
+    // pure function of its own snapshot, which is what lets the stage
+    // engine (`qrank_core::engine`) reuse cached columns across window
+    // slides while staying bitwise-identical to this cold path.
     for snap in series.snapshots() {
-        let scores = metric.compute_warm(&snap.graph, prev.as_deref());
+        let scores = metric.compute(&snap.graph);
         debug_assert_eq!(scores.len(), n);
         for (p, &v) in scores.iter().enumerate() {
             values[p].push(v);
         }
-        prev = Some(scores);
     }
     Ok(PopularityTrajectories {
         times,
@@ -169,17 +184,24 @@ mod tests {
     #[test]
     fn truncation_holds_out_future() {
         let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
-        let past = t.truncated(2);
+        let past = t.truncated(2).unwrap();
         assert_eq!(past.num_snapshots(), 2);
         assert_eq!(past.values[1], vec![1.0, 2.0]);
         assert_eq!(past.pages, t.pages);
     }
 
     #[test]
-    #[should_panic(expected = "truncation")]
-    fn truncation_bounds() {
+    fn truncation_bounds_and_ragged_rows_error() {
         let t = compute_trajectories(&series(), &PopularityMetric::InDegree).unwrap();
-        let _ = t.truncated(9);
+        assert!(matches!(t.truncated(9), Err(CoreError::BadSeries(_))));
+        assert!(matches!(t.truncated(0), Err(CoreError::BadSeries(_))));
+        let ragged = PopularityTrajectories {
+            times: vec![0.0, 1.0],
+            values: vec![vec![1.0, 2.0], vec![1.0]],
+            pages: vec![PageId(1), PageId(2)],
+        };
+        assert!(matches!(ragged.truncated(2), Err(CoreError::BadSeries(_))));
+        assert!(ragged.truncated(1).is_ok());
     }
 
     #[test]

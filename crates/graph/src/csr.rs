@@ -145,6 +145,18 @@ impl CsrGraph {
         }
     }
 
+    /// Feed the graph's structure into `h` in canonical order: node
+    /// count, edge count, then the CSR out-offset and out-target arrays
+    /// (the in-arrays are derived from these, so hashing them would add
+    /// cost without adding information). Two graphs absorb the same word
+    /// stream iff they are equal.
+    pub fn fold_structure(&self, h: &mut crate::fingerprint::Fingerprinter) {
+        h.word(self.num_nodes() as u64);
+        h.word(self.num_edges() as u64);
+        h.words(self.out_offsets.iter().map(|&o| o as u64));
+        h.words(self.out_targets.iter().map(|&t| u64::from(t)));
+    }
+
     /// True if edge `u -> v` exists (binary search over sorted neighbors).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         (u as usize) < self.num_nodes() && self.out_neighbors(u).binary_search(&v).is_ok()

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod align;
 pub mod bowtie;
 pub mod builder;
 pub mod clustering;
@@ -56,6 +57,7 @@ pub mod csr;
 pub mod distance;
 pub mod dynamic;
 pub mod error;
+pub mod fingerprint;
 pub mod generators;
 pub mod io;
 pub mod relabel;
@@ -64,11 +66,13 @@ pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 
+pub use align::{AlignmentTracker, Realignment};
 pub use bowtie::{BowTie, BowTieRegion};
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::{DynamicGraph, EdgeEvent};
 pub use error::GraphError;
+pub use fingerprint::{pages_fingerprint, Fingerprinter};
 pub use relabel::{degree_order, Relabeling};
 pub use snapshot::{PageId, Snapshot, SnapshotSeries};
 

@@ -27,6 +27,15 @@ impl std::fmt::Display for PageId {
 }
 
 /// The link structure of a page corpus captured at one instant.
+///
+/// Construction builds two derived artifacts exactly once: a
+/// `PageId -> NodeId` hash index (shared by every lookup, see
+/// [`Snapshot::page_index`]) and a 64-bit structural
+/// [`fingerprint`](Snapshot::fingerprint) over the CSR arrays, the page
+/// ids, and the capture time. The incremental pipeline engine keys its
+/// cached stage artifacts by that fingerprint. The public fields are for
+/// reading; mutating them directly would desynchronize the cached index
+/// and fingerprint.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Capture time (same unit as the simulator clock; months in the
@@ -37,10 +46,15 @@ pub struct Snapshot {
     /// `pages[node]` = external identity of `node`. Length equals
     /// `graph.num_nodes()`.
     pub pages: Vec<PageId>,
+    index: HashMap<PageId, NodeId>,
+    fingerprint: u64,
 }
 
 impl Snapshot {
     /// Construct, validating that `pages` labels every node exactly once.
+    ///
+    /// The duplicate check is a single hash-map pass that doubles as the
+    /// construction of the page index, so validation costs nothing extra.
     pub fn new(time: f64, graph: CsrGraph, pages: Vec<PageId>) -> Result<Self, GraphError> {
         if pages.len() != graph.num_nodes() {
             return Err(GraphError::MisalignedSnapshots(format!(
@@ -49,14 +63,25 @@ impl Snapshot {
                 graph.num_nodes()
             )));
         }
-        let mut sorted = pages.clone();
-        sorted.sort_unstable();
-        if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err(GraphError::MisalignedSnapshots(
-                "duplicate page id in snapshot".into(),
-            ));
+        let mut index = HashMap::with_capacity(pages.len());
+        for (i, &p) in pages.iter().enumerate() {
+            if index.insert(p, i as NodeId).is_some() {
+                return Err(GraphError::MisalignedSnapshots(format!(
+                    "duplicate page id {p} in snapshot"
+                )));
+            }
         }
-        Ok(Snapshot { time, graph, pages })
+        let mut h = crate::fingerprint::Fingerprinter::new();
+        h.word(time.to_bits());
+        graph.fold_structure(&mut h);
+        h.words(pages.iter().map(|p| p.0));
+        Ok(Snapshot {
+            time,
+            graph,
+            pages,
+            index,
+            fingerprint: h.finish(),
+        })
     }
 
     /// Number of pages captured.
@@ -64,31 +89,32 @@ impl Snapshot {
         self.pages.len()
     }
 
-    /// Node id of `page`, if captured. O(n) worst case via hash map built
-    /// per call; use [`Snapshot::page_index`] when doing many lookups.
+    /// Structural content fingerprint: 64-bit FNV-1a over the capture
+    /// time, the CSR arrays, and the page ids, computed once at
+    /// construction. Equal snapshots have equal fingerprints; the
+    /// pipeline engine treats equal fingerprints as equal content.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Node id of `page`, if captured. O(1) via the index built at
+    /// construction.
     pub fn node_of(&self, page: PageId) -> Option<NodeId> {
-        self.pages
-            .iter()
-            .position(|&p| p == page)
-            .map(|i| i as NodeId)
+        self.index.get(&page).copied()
     }
 
-    /// Build a reusable `PageId -> NodeId` index.
-    pub fn page_index(&self) -> HashMap<PageId, NodeId> {
-        self.pages
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i as NodeId))
-            .collect()
+    /// The `PageId -> NodeId` index, built once at construction.
+    pub fn page_index(&self) -> &HashMap<PageId, NodeId> {
+        &self.index
     }
 
-    /// Restrict this snapshot to `keep` (any order; unknown pages are an
-    /// error), relabeling nodes so that node `i` is `keep[i]`.
+    /// Restrict this snapshot to `keep` (any order; unknown or duplicate
+    /// pages are an error), relabeling nodes so that node `i` is
+    /// `keep[i]`.
     pub fn restrict_to(&self, keep: &[PageId]) -> Result<Snapshot, GraphError> {
-        let index = self.page_index();
         let mut old_nodes = Vec::with_capacity(keep.len());
         for &p in keep {
-            match index.get(&p) {
+            match self.index.get(&p) {
                 Some(&n) => old_nodes.push(n),
                 None => return Err(GraphError::UnknownPage(p.0)),
             }
@@ -106,11 +132,7 @@ impl Snapshot {
             perm[pos_of_old[&old] as usize] = want as NodeId;
         }
         let graph = sub.relabel(&perm)?;
-        Ok(Snapshot {
-            time: self.time,
-            graph,
-            pages: keep.to_vec(),
-        })
+        Snapshot::new(self.time, graph, keep.to_vec())
     }
 }
 
@@ -161,13 +183,23 @@ impl SnapshotSeries {
         let Some(first) = self.snapshots.first() else {
             return Vec::new();
         };
-        let mut common: Vec<PageId> = first.pages.clone();
-        common.sort_unstable();
+        // Each snapshot lists a page at most once (enforced by
+        // `Snapshot::new`), so "present in all" is "seen len() times".
+        let mut counts: HashMap<PageId, u32> = first.pages.iter().map(|&p| (p, 1)).collect();
         for s in &self.snapshots[1..] {
-            let mut present: Vec<PageId> = s.pages.clone();
-            present.sort_unstable();
-            common.retain(|p| present.binary_search(p).is_ok());
+            for &p in &s.pages {
+                if let Some(c) = counts.get_mut(&p) {
+                    *c += 1;
+                }
+            }
         }
+        let full = self.snapshots.len() as u32;
+        let mut common: Vec<PageId> = counts
+            .into_iter()
+            .filter(|&(_, c)| c == full)
+            .map(|(p, _)| p)
+            .collect();
+        common.sort_unstable();
         common
     }
 

@@ -106,6 +106,48 @@ proptest! {
         prop_assert!(decode_series(&bytes).is_ok());
     }
 
+    /// Snapshot-series binary encoding round-trips exactly, including
+    /// graphs with no edges, trailing isolated nodes, and duplicate edge
+    /// input (deduplicated at construction; the roundtrip must preserve
+    /// the deduplicated structure, bit for bit — checked via the
+    /// structural fingerprint, which also covers time and page ids).
+    #[test]
+    fn series_binary_roundtrip(
+        specs in prop::collection::vec((arbitrary_edges(9, 25), 0u64..4), 1..5),
+    ) {
+        let mut series = SnapshotSeries::new();
+        for (i, (edges, isolated)) in specs.iter().enumerate() {
+            let n = 9 + *isolated as usize;
+            let mut doubled = edges.clone();
+            doubled.extend_from_slice(edges);
+            let g = CsrGraph::from_edges(n, &doubled);
+            let pages: Vec<PageId> = (0..n as u64).map(PageId).collect();
+            series.push(Snapshot::new(i as f64, g, pages).unwrap()).unwrap();
+        }
+        let back = decode_series(&encode_series(&series)).unwrap();
+        prop_assert_eq!(back.len(), series.len());
+        for (a, b) in series.snapshots().iter().zip(back.snapshots()) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(&a.pages, &b.pages);
+            prop_assert_eq!(&a.graph, &b.graph);
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    /// Corrupting any single header byte of an encoded series never
+    /// panics, and flips of the magic or version fields are rejected.
+    #[test]
+    fn series_decode_rejects_header_corruption(pos in 0usize..6, flip in 1u8..=255) {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 0)]);
+        let pages: Vec<PageId> = (0..3u64).map(PageId).collect();
+        let mut series = SnapshotSeries::new();
+        series.push(Snapshot::new(0.0, g, pages).unwrap()).unwrap();
+        let mut bytes = encode_series(&series).to_vec();
+        // bytes 0..4 magic, 4..6 version: any flip must be rejected
+        bytes[pos] ^= flip;
+        prop_assert!(decode_series(&bytes).is_err());
+    }
+
     /// Transpose is an involution and preserves degree sums.
     #[test]
     fn transpose_involution(edges in arbitrary_edges(20, 100)) {
@@ -133,4 +175,63 @@ proptest! {
             }
         }
     }
+}
+
+/// Snapshot edge cases the strategy above cannot hit: a zero-node graph,
+/// page ids at the u64 ceiling, and node ids at the format's plausibility
+/// ceiling for a near-edgeless graph.
+#[test]
+fn series_roundtrip_edge_cases() {
+    let mut series = SnapshotSeries::new();
+    series
+        .push(Snapshot::new(0.0, CsrGraph::from_edges(0, &[]), vec![]).unwrap())
+        .unwrap();
+    series
+        .push(
+            Snapshot::new(
+                1.0,
+                CsrGraph::from_edges(2, &[(0, 1)]),
+                vec![PageId(u64::MAX), PageId(0)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // max node id allowed for a single-edge graph by the decoder's
+    // plausibility guard (64 * edges + 2^20 isolated-node allowance)
+    let n = (1 << 20) + 64;
+    let pages: Vec<PageId> = (0..n as u64).map(PageId).collect();
+    series
+        .push(Snapshot::new(2.0, CsrGraph::from_edges(n, &[(0, n as u32 - 1)]), pages).unwrap())
+        .unwrap();
+    let back = decode_series(&encode_series(&series)).unwrap();
+    assert_eq!(back.len(), 3);
+    for (a, b) in series.snapshots().iter().zip(back.snapshots()) {
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(&a.graph, &b.graph);
+        assert_eq!(&a.pages, &b.pages);
+    }
+}
+
+/// Every strict prefix of an encoded series is rejected — the decoder
+/// must detect truncation anywhere in the payload, never return a
+/// silently shortened series.
+#[test]
+fn series_rejects_every_truncated_payload() {
+    let mut series = SnapshotSeries::new();
+    for t in 0..3 {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (3, 0)]);
+        let pages: Vec<PageId> = (0..4u64).map(PageId).collect();
+        series
+            .push(Snapshot::new(t as f64, g, pages).unwrap())
+            .unwrap();
+    }
+    let bytes = encode_series(&series);
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_series(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes must not decode",
+            bytes.len()
+        );
+    }
+    assert!(decode_series(&bytes).is_ok());
 }

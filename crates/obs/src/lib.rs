@@ -9,7 +9,7 @@
 //!   `Arc`-shared plain atomics, so the record path is a single relaxed
 //!   `fetch_add`; the registry lock is touched only at registration and
 //!   snapshot time.
-//! * **[`span`]** — hierarchical timing spans (`span!("rank.solve")`)
+//! * **[`mod@span`]** — hierarchical timing spans (`span!("rank.solve")`)
 //!   built on a thread-local name stack and monotonic clocks. Each
 //!   closed span lands in a `span.<parent/child>` histogram and in the
 //!   flight recorder.

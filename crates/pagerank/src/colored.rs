@@ -19,7 +19,7 @@
 //! and no coordinator is needed.
 //!
 //! Relative to natural-order Gauss–Seidel the update *schedule* differs,
-//! so the converged vector agrees with [`crate::gauss_seidel`] only to
+//! so the converged vector agrees with [`crate::gauss_seidel()`] only to
 //! solver tolerance (documented and tested), not bitwise. Sweep counts
 //! sit between Jacobi (= power iteration) and sequential GS: with `k`
 //! colors, information still propagates through up to `k` graph hops per
@@ -101,7 +101,7 @@ pub fn colored_gauss_seidel(
 /// Colored Gauss–Seidel PageRank with an optional warm start.
 ///
 /// Converges to the same fixed point as [`crate::pagerank`] and
-/// [`crate::gauss_seidel`] (within solver tolerance). The returned
+/// [`crate::gauss_seidel()`] (within solver tolerance). The returned
 /// vector is **bitwise identical for every `threads` value** — the
 /// property the deterministic simulation and serving layers build on.
 /// Warm vectors follow the same acceptance rules as

@@ -5,37 +5,36 @@
 //! a new snapshot, recomputes quality estimates, and publishes a fresh
 //! [`ScoreStore`] generation — all off the request path.
 //!
-//! ## Equivalence with the cold pipeline
+//! ## One incremental path
 //!
-//! `qrank_core::run_pipeline` warm-starts each snapshot's PageRank from
-//! the previous snapshot's vector (see
-//! [`qrank_core::trajectory::compute_trajectories`]). The engine exploits
-//! this: when a delta only *appends* a snapshot (same common page set,
-//! unchanged time prefix) the cached trajectory columns are exactly what
-//! a cold run would recompute, so only the newest column is solved —
-//! warm-started from the cached last column — and the resulting report is
-//! **bitwise identical** to running the full pipeline from scratch. Any
-//! other shape (window slide, page-set change) falls back to a full
-//! recompute, which is itself the cold path. Either way readers can never
-//! tell the difference; the e2e test asserts agreement to 1e-9.
+//! All recomputation is delegated to the core stage engine
+//! ([`qrank_core::PipelineEngine`]), which caches fingerprint-keyed
+//! aligned snapshots and PageRank trajectory columns between reranks.
+//! This module used to carry its own column cache and window-shape
+//! detection; now serve only decides *when* to rerank, and the engine
+//! decides *what* to recompute:
 //!
-//! Both paths solve PageRank through
-//! [`qrank_core::PopularityMetric::compute_warm`], which dispatches via
-//! `qrank_rank::solve_auto` — sequential Gauss–Seidel for small
-//! snapshots, the degree-relabeled multi-color parallel sweep for large
-//! ones. The dispatch depends only on the graph size and thread budget,
-//! never on which path asked, so the warm/cold bitwise equivalence above
-//! survives solver selection.
+//! * **append** (window grew by one, common page set unchanged) — one
+//!   column solved, the rest reused;
+//! * **window slide** (oldest snapshot dropped off, common set
+//!   unchanged) — still one column solved, every surviving column
+//!   reused;
+//! * **common-set change** (a page entered or left the intersection) —
+//!   every column's input graph changed, so the whole window re-solves.
+//!
+//! Every column the engine serves from cache is *bitwise* the vector a
+//! cold [`qrank_core::run_pipeline`] would compute (columns are solved
+//! from the metric's canonical start, never chained), so published
+//! stores are bit-for-bit independent of refresh history. The
+//! [`RefreshStats`] of each publish report how many columns were solved
+//! versus reused.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use qrank_core::{
-    report_from_trajectories, trajectory::compute_trajectories, PaperEstimator, PopularityMetric,
-    PopularityTrajectories,
-};
+use qrank_core::{PaperEstimator, PipelineEngine, PopularityMetric};
 use qrank_graph::{DynamicGraph, NodeId, PageId, Snapshot, SnapshotSeries};
 
 use crate::error::ServeError;
@@ -75,8 +74,7 @@ impl EdgeDelta {
 /// Refresh-worker configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefreshConfig {
-    /// Popularity metric (default: the paper's PageRank setup, which the
-    /// engine solves warm-started from the previous snapshot).
+    /// Popularity metric (default: the paper's PageRank setup).
     pub metric: PopularityMetric,
     /// Equation 1 constant `C` (paper: 0.1).
     pub c: f64,
@@ -110,8 +108,10 @@ pub struct RefreshStats {
     pub num_pages: usize,
     /// Snapshots in the estimation window (including the held-out one).
     pub window: usize,
-    /// Whether the incremental single-column fast path applied.
-    pub fast_path: bool,
+    /// Trajectory columns the stage engine solved for this publish.
+    pub columns_solved: u64,
+    /// Trajectory columns served from the engine's cache.
+    pub columns_reused: u64,
 }
 
 /// The incremental re-ranking engine.
@@ -127,7 +127,7 @@ pub struct RefreshEngine {
     page_of_node: Vec<u64>,
     alive_edges: BTreeSet<(u64, u64)>,
     series: SnapshotSeries,
-    cached: Option<PopularityTrajectories>,
+    pipeline: PipelineEngine,
     handle: Arc<StoreHandle>,
     generation: u64,
 }
@@ -141,6 +141,7 @@ impl RefreshEngine {
                 cfg.max_window
             )));
         }
+        let pipeline = PipelineEngine::new(cfg.metric.clone());
         Ok(RefreshEngine {
             cfg,
             graph: DynamicGraph::new(),
@@ -148,7 +149,7 @@ impl RefreshEngine {
             page_of_node: Vec::new(),
             alive_edges: BTreeSet::new(),
             series: SnapshotSeries::new(),
-            cached: None,
+            pipeline,
             handle,
             generation: 0,
         })
@@ -192,6 +193,12 @@ impl RefreshEngine {
     /// Total pages ever observed (the dynamic graph's node count).
     pub fn num_pages(&self) -> usize {
         self.page_of_node.len()
+    }
+
+    /// Cache traffic of the stage engine's most recent rerank (or warm
+    /// pass, while the window is still filling).
+    pub fn stage_stats(&self) -> qrank_core::StageStats {
+        self.pipeline.stats()
     }
 
     /// Diff `snap` against the engine's current state, producing the
@@ -272,71 +279,39 @@ impl RefreshEngine {
     /// new store generation.
     ///
     /// Returns `Ok(None)` while the window holds fewer than three
-    /// snapshots (nothing publishable yet). Uses the cached-column fast
-    /// path when the window only grew; otherwise recomputes from scratch.
+    /// snapshots; those reranks still warm the stage engine's caches so
+    /// the first publishable refresh only solves what is genuinely new.
+    /// The engine recomputes exactly the trajectory columns the window
+    /// change invalidated (none for a pure re-rank, one for an append or
+    /// slide, all of them when the common page set changes).
     pub fn rerank(&mut self) -> Result<Option<RefreshStats>, ServeError> {
         let _span = qrank_obs::span!("refresh.rerank");
-        if self.series.is_empty() {
+        let Some(newest) = self.series.snapshots().last() else {
             return Ok(None);
-        }
-        let aligned = self.series.aligned_to_common()?;
-        if aligned.snapshots()[0].num_pages() == 0 {
-            return Err(ServeError::Config(
-                "no pages common to the snapshot window".into(),
-            ));
-        }
-        let times = aligned.times();
-        let n_snap = aligned.len();
-        let mut fast_path = false;
-        let traj = match &self.cached {
-            // Fast path: the previous trajectories are an exact prefix —
-            // same common pages, same leading times — so only the newest
-            // column needs solving, warm-started like the cold path would.
-            Some(prev)
-                if n_snap == prev.num_snapshots() + 1
-                    && prev.pages == aligned.snapshots()[0].pages
-                    && times[..prev.num_snapshots()] == prev.times[..] =>
-            {
-                fast_path = true;
-                let warm: Vec<f64> = prev
-                    .values
-                    .iter()
-                    .map(|v| *v.last().expect("non-empty"))
-                    .collect();
-                let newest = aligned.snapshots().last().expect("non-empty series");
-                let scores = self.cfg.metric.compute_warm(&newest.graph, Some(&warm));
-                let mut values = prev.values.clone();
-                for (row, &s) in values.iter_mut().zip(&scores) {
-                    row.push(s);
-                }
-                PopularityTrajectories {
-                    times,
-                    values,
-                    pages: prev.pages.clone(),
-                }
-            }
-            _ => compute_trajectories(&aligned, &self.cfg.metric)?,
         };
-        if n_snap < 3 {
-            self.cached = Some(traj);
+        let snapshot_time = newest.time;
+        if self.series.len() < 3 {
+            self.pipeline.warm(&self.series)?;
             return Ok(None);
         }
         let estimator = PaperEstimator {
             c: self.cfg.c,
             flat_tolerance: self.cfg.flat_tolerance,
         };
-        let report = report_from_trajectories(&traj, &estimator, self.cfg.min_relative_change)?;
+        let report = self
+            .pipeline
+            .run(&self.series, &estimator, self.cfg.min_relative_change)?;
+        let stage = self.pipeline.stats();
         self.generation += 1;
-        let snapshot_time = *traj.times.last().expect("non-empty window");
         let store = ScoreStore::from_report(&report, self.generation, snapshot_time);
         let stats = RefreshStats {
             generation: self.generation,
             num_pages: store.len(),
-            window: n_snap,
-            fast_path,
+            window: self.series.len(),
+            columns_solved: stage.columns_solved(),
+            columns_reused: stage.columns_reused(),
         };
         self.handle.publish(store);
-        self.cached = Some(traj);
         Ok(Some(stats))
     }
 
@@ -501,7 +476,7 @@ mod tests {
     }
 
     #[test]
-    fn incremental_ingest_takes_fast_path_and_matches_cold() {
+    fn incremental_ingest_solves_only_the_new_column() {
         let mut engine =
             RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
                 .unwrap();
@@ -511,31 +486,31 @@ mod tests {
             ..Default::default()
         };
         let stats = engine.ingest(&delta).unwrap().unwrap();
-        assert!(
-            stats.fast_path,
-            "append-only delta must hit the cached-column path"
+        assert_eq!(
+            stats.columns_solved, 1,
+            "append-only delta must reuse every cached column"
         );
+        assert_eq!(stats.columns_reused, 3);
         assert_eq!(stats.generation, 2);
         assert_eq!(stats.window, 4);
         assert_store_matches_cold(&engine);
     }
 
     #[test]
-    fn window_slide_falls_back_to_full_recompute_and_matches_cold() {
+    fn window_slide_reuses_surviving_columns_and_matches_cold() {
         let mut engine =
             RefreshEngine::from_series(&seed_series(4), cfg(), Arc::new(StoreHandle::new()))
                 .unwrap();
-        // 5th snapshot slides the window: times change, fast path invalid
+        // 5th snapshot slides the window: the oldest column is evicted,
+        // the three survivors are reused, only the new one is solved.
         let delta = EdgeDelta {
             time: 4.0,
             added: vec![(2, 1)],
             ..Default::default()
         };
         let stats = engine.ingest(&delta).unwrap().unwrap();
-        assert!(
-            !stats.fast_path,
-            "a slid window must recompute from scratch"
-        );
+        assert_eq!(stats.columns_solved, 1, "slide must solve one column");
+        assert_eq!(stats.columns_reused, 3);
         assert_eq!(engine.series().len(), 4, "window capped at max_window");
         assert_eq!(engine.series().times(), vec![1.0, 2.0, 3.0, 4.0]);
         assert_store_matches_cold(&engine);
@@ -546,18 +521,66 @@ mod tests {
         let mut engine =
             RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
                 .unwrap();
-        // page 6 is born with an in-link; the common set stays 0..6 so
-        // the fast path still applies
+        // page 6 is born with an in-link; the window's common set stays
+        // 0..6 (page 6 is absent from the older snapshots), so every
+        // cached column is still valid
         let delta = EdgeDelta {
             time: 3.0,
             added: vec![(6, 1), (0, 1)],
             ..Default::default()
         };
         let stats = engine.ingest(&delta).unwrap().unwrap();
-        assert!(stats.fast_path);
+        assert_eq!(stats.columns_solved, 1);
+        assert_eq!(stats.columns_reused, 3);
         assert_eq!(engine.num_pages(), 7);
         // the newborn is not in the common window, hence not served yet
         assert!(engine.handle().current().score(PageId(6)).is_none());
+        assert_store_matches_cold(&engine);
+    }
+
+    #[test]
+    fn common_set_change_resolves_every_column() {
+        // Page 6 is born at t = 1, so the seed window's common set
+        // excludes it. Sliding the window past t = 0 brings page 6 into
+        // every remaining snapshot: the common set changes and every
+        // restricted graph with it, so nothing cached is reusable.
+        let mut series = seed_series(1);
+        let pages: Vec<PageId> = (0..7).map(PageId).collect();
+        for i in 1..4 {
+            let edges = vec![
+                (3u32, 2u32),
+                (4, 2),
+                (5, 2),
+                (2, 0),
+                (0, 2),
+                (1, 0),
+                (3, 1),
+                (6, 1),
+                (0, 6),
+            ];
+            series
+                .push(
+                    Snapshot::new(i as f64, CsrGraph::from_edges(7, &edges), pages.clone())
+                        .unwrap(),
+                )
+                .unwrap();
+        }
+        let mut engine =
+            RefreshEngine::from_series(&series, cfg(), Arc::new(StoreHandle::new())).unwrap();
+        assert!(engine.handle().current().score(PageId(6)).is_none());
+        let delta = EdgeDelta {
+            time: 4.0,
+            added: vec![(2, 6)],
+            ..Default::default()
+        };
+        let stats = engine.ingest(&delta).unwrap().unwrap();
+        assert_eq!(
+            stats.columns_solved, 4,
+            "a changed common set invalidates the whole window"
+        );
+        assert_eq!(stats.columns_reused, 0);
+        // page 6 is now common to the slid window and therefore served
+        assert!(engine.handle().current().score(PageId(6)).is_some());
         assert_store_matches_cold(&engine);
     }
 
@@ -586,6 +609,10 @@ mod tests {
         let stats = engine.ingest(&d2).unwrap().unwrap();
         assert_eq!(stats.generation, 1);
         assert_eq!(handle.current().generation(), 1);
+        // the pre-publish reranks warmed the engine's caches, so the
+        // first publish only solved the newest snapshot's column
+        assert_eq!(stats.columns_solved, 1);
+        assert_eq!(stats.columns_reused, 2);
     }
 
     #[test]
