@@ -18,8 +18,8 @@ use qrank_bench::obs::obs_section;
 use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
 use qrank_serve::json::Obj;
 use qrank_serve::{
-    run_load, serve, spawn_refresh_worker, EdgeDelta, LoadConfig, RefreshConfig, RefreshEngine,
-    RefreshMsg, ServerConfig, StoreHandle,
+    run_load, serve, spawn_refresh_worker, DurabilityConfig, EdgeDelta, FsyncPolicy, LoadConfig,
+    RefreshConfig, RefreshEngine, RefreshMsg, ServerConfig, StoreHandle,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -43,6 +43,129 @@ fn growing_web(pages: usize, m: usize, rng: &mut StdRng) -> Vec<(u32, u32)> {
         }
     }
     edges
+}
+
+/// `None` when the two published stores agree on every bit (generation,
+/// snapshot time, page order, all three score fields); otherwise what
+/// differed first.
+fn bitwise_mismatch(a: &Arc<StoreHandle>, b: &Arc<StoreHandle>) -> Option<String> {
+    let (a, b) = (a.current(), b.current());
+    if a.generation() != b.generation() {
+        return Some(format!(
+            "generation {} vs {}",
+            a.generation(),
+            b.generation()
+        ));
+    }
+    if a.snapshot_time().to_bits() != b.snapshot_time().to_bits() {
+        return Some("snapshot time bits differ".into());
+    }
+    if a.len() != b.len() {
+        return Some(format!("page count {} vs {}", a.len(), b.len()));
+    }
+    for ((pa, sa), (pb, sb)) in a.topk(a.len()).iter().zip(b.topk(b.len()).iter()) {
+        if pa != pb {
+            return Some(format!("page order diverges at {pa} vs {pb}"));
+        }
+        if sa.quality.to_bits() != sb.quality.to_bits()
+            || sa.pagerank.to_bits() != sb.pagerank.to_bits()
+            || sa.trend != sb.trend
+        {
+            return Some(format!("score bits differ for page {pa}"));
+        }
+    }
+    None
+}
+
+/// Crash-recovery benchmark: seed a durable engine, ingest a delta
+/// stream, "kill" it (drop without a shutdown checkpoint), reopen, and
+/// check the recovered store is bitwise identical to an uninterrupted
+/// run. Returns `(recovery_seconds, replayed_records,
+/// checkpoint_generation, mismatch)`.
+fn recovery_bench(seed: u64) -> (f64, u64, Option<u64>, Option<String>) {
+    let rpages = 2_000usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5741_4C00);
+    let edges = growing_web(rpages, 3, &mut rng);
+    let page_ids: Vec<PageId> = (0..rpages as u64).map(PageId).collect();
+    let mut series = SnapshotSeries::new();
+    for (i, frac) in [0.7, 0.8, 0.9].iter().enumerate() {
+        let cut = (edges.len() as f64 * frac) as usize;
+        series
+            .push(
+                Snapshot::new(
+                    i as f64,
+                    CsrGraph::from_edges(rpages, &edges[..cut]),
+                    page_ids.clone(),
+                )
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let tail = &edges[(edges.len() as f64 * 0.9) as usize..];
+    let deltas: Vec<EdgeDelta> = tail
+        .chunks(tail.len().div_ceil(3).max(1))
+        .enumerate()
+        .map(|(i, chunk)| EdgeDelta {
+            time: 3.0 + i as f64,
+            added: chunk.iter().map(|&(s, d)| (s as u64, d as u64)).collect(),
+            ..Default::default()
+        })
+        .collect();
+
+    let dir_a = std::env::temp_dir().join("qrank_bench_serve_rec_uninterrupted");
+    let dir_b = std::env::temp_dir().join("qrank_bench_serve_rec_killed");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let dur = |dir: &std::path::Path| DurabilityConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Never,
+        checkpoint_every: 4,
+    };
+
+    let handle_a = Arc::new(StoreHandle::new());
+    let (mut engine_a, _) = RefreshEngine::open_durable(
+        RefreshConfig::default(),
+        &dur(&dir_a),
+        Arc::clone(&handle_a),
+        Some(&series),
+    )
+    .unwrap();
+    for d in &deltas {
+        engine_a.ingest(d).unwrap();
+    }
+
+    {
+        let (mut engine_b, _) = RefreshEngine::open_durable(
+            RefreshConfig::default(),
+            &dur(&dir_b),
+            Arc::new(StoreHandle::new()),
+            Some(&series),
+        )
+        .unwrap();
+        for d in &deltas {
+            engine_b.ingest(d).unwrap();
+        }
+        // Dropped without checkpoint_now(): the "kill".
+    }
+    let handle_b = Arc::new(StoreHandle::new());
+    let started = Instant::now();
+    let (_engine_b, report) = RefreshEngine::open_durable(
+        RefreshConfig::default(),
+        &dur(&dir_b),
+        Arc::clone(&handle_b),
+        None,
+    )
+    .unwrap();
+    let recovery_seconds = started.elapsed().as_secs_f64();
+    let mismatch = bitwise_mismatch(&handle_a, &handle_b);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    (
+        recovery_seconds,
+        report.replayed_records,
+        report.checkpoint_generation,
+        mismatch,
+    )
 }
 
 fn main() {
@@ -155,6 +278,19 @@ fn main() {
         if meets_target { "MET" } else { "MISSED" }
     );
 
+    let (recovery_seconds, replayed_records, checkpoint_generation, mismatch) =
+        recovery_bench(seed);
+    println!(
+        "  recovery: {replayed_records} record(s) replayed on top of checkpoint \
+         generation {} in {recovery_seconds:.3}s, recovered store {}",
+        checkpoint_generation.map_or_else(|| "none".to_string(), |g| g.to_string()),
+        if mismatch.is_none() {
+            "BITWISE IDENTICAL"
+        } else {
+            "DIVERGED"
+        }
+    );
+
     let json = Obj::new()
         .int("pages", pages as u64)
         .int("edges", edges.len() as u64)
@@ -169,8 +305,21 @@ fn main() {
         .int("refresh_errors", refresh_errors.len() as u64)
         .int("refresh_window", engine.series().len() as u64)
         .bool("meets_10k_rps", meets_target)
+        .raw(
+            "recovery",
+            &Obj::new()
+                .num("recovery_seconds", recovery_seconds)
+                .int("replayed_records", replayed_records)
+                .int("checkpoint_generation", checkpoint_generation.unwrap_or(0))
+                .bool("bitwise_identical", mismatch.is_none())
+                .finish(),
+        )
         .raw("obs", &obs_section())
         .finish();
     std::fs::write("BENCH_serve.json", format!("{json}\n")).unwrap();
     println!("  wrote BENCH_serve.json");
+    if let Some(why) = mismatch {
+        eprintln!("FAIL: recovered store is not bitwise identical: {why}");
+        std::process::exit(1);
+    }
 }

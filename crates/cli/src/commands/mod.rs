@@ -10,3 +10,4 @@ pub mod pagerank;
 pub mod serve;
 pub mod simulate;
 pub mod stats;
+pub mod wal;

@@ -9,8 +9,8 @@ use std::sync::Arc;
 
 use qrank_graph::io::decode_series;
 use qrank_serve::{
-    parse_deltas, serve, spawn_refresh_worker, RefreshConfig, RefreshEngine, RefreshMsg,
-    ServerConfig, StoreHandle,
+    parse_deltas, serve, spawn_refresh_worker, DurabilityConfig, FsyncPolicy, RefreshConfig,
+    RefreshEngine, RefreshMsg, ServerConfig, StoreHandle,
 };
 
 use crate::args::{parse, CliError};
@@ -30,6 +30,15 @@ options:
   --duration SECS    serve for SECS seconds then exit (default 0 = forever)
   --port-file FILE   write the bound address to FILE once listening
 
+durability (see `qrank wal` for offline inspection):
+  --data-dir DIR     journal every ingested delta to a WAL in DIR and
+                     recover from it on startup; the --series seed is
+                     used only when DIR has no history yet
+  --fsync POLICY     WAL fsync policy: always | every:N | never
+                     (default every:64)
+  --checkpoint-every N  checkpoint engine state after every N ingested
+                     deltas (default 256; 0 = only on clean shutdown)
+
 protocol (line-delimited JSON over TCP):
   score <page> | topk <n> | stats | metrics | health
   (`metrics` answers in Prometheus text format, terminated by `# EOF`)";
@@ -47,6 +56,9 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "min-change",
         "duration",
         "port-file",
+        "data-dir",
+        "fsync",
+        "checkpoint-every",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -76,8 +88,47 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     };
 
     let handle = Arc::new(StoreHandle::new());
-    let engine = RefreshEngine::from_series(&series, refresh_cfg, Arc::clone(&handle))
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let engine = match p.get("data-dir") {
+        Some(data_dir) => {
+            let fsync: FsyncPolicy = p
+                .get("fsync")
+                .unwrap_or("every:64")
+                .parse()
+                .map_err(|e| CliError::Usage(format!("{e}\n\n{USAGE}")))?;
+            let dur = DurabilityConfig {
+                dir: data_dir.into(),
+                fsync,
+                checkpoint_every: p.get_or("checkpoint-every", 256, USAGE)?,
+            };
+            let (engine, report) =
+                RefreshEngine::open_durable(refresh_cfg, &dur, Arc::clone(&handle), Some(&series))
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+            if report.checkpoint_generation.is_some() || report.replayed_records > 0 {
+                eprintln!(
+                    "recovered from {data_dir}: checkpoint generation {}, {} record(s) replayed",
+                    report
+                        .checkpoint_generation
+                        .map_or_else(|| "none".to_string(), |g| g.to_string()),
+                    report.replayed_records
+                );
+            }
+            if let Some(reason) = &report.torn_tail {
+                eprintln!("repaired torn WAL tail: {reason}");
+            }
+            if report.skipped_checkpoints > 0 {
+                eprintln!(
+                    "warning: {} corrupt checkpoint(s) skipped during recovery",
+                    report.skipped_checkpoints
+                );
+            }
+            for err in &report.replay_errors {
+                eprintln!("replay: delta rejected ({err})");
+            }
+            engine
+        }
+        None => RefreshEngine::from_series(&series, refresh_cfg, Arc::clone(&handle))
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    };
     let store = handle.current();
     let server = serve(handle, &server_cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
     let seeded = engine.stage_stats();
@@ -119,11 +170,18 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     refresh_tx
         .send(RefreshMsg::Shutdown)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let (engine, errors) = refresh_join
+    let (mut engine, errors) = refresh_join
         .join()
         .map_err(|_| CliError::Runtime("refresh worker panicked".into()))?;
     for err in &errors {
         eprintln!("refresh error: {err}");
+    }
+    // A clean shutdown checkpoints the engine so the next boot replays
+    // nothing; `checkpoint_now` is a no-op without a data dir.
+    match engine.checkpoint_now() {
+        Ok(Some(lsn)) => eprintln!("shutdown checkpoint written at LSN {lsn}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: shutdown checkpoint failed: {e}"),
     }
     let metrics = server.metrics().snapshot();
     server.shutdown();
@@ -229,6 +287,41 @@ mod tests {
         assert!(line.contains(r#""ok":true"#), "{line}");
         drop(writer);
         server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn durable_serve_checkpoints_and_recovers_across_restarts() {
+        let dir = temp_dir();
+        let series_path = dir.join("durable.bin");
+        let data_dir = dir.join("durable_wal");
+        let _ = std::fs::remove_dir_all(&data_dir);
+        write_series(&series_path);
+        let args = argv(&[
+            "--series",
+            series_path.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--duration",
+            "1",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--fsync",
+            "never",
+        ]);
+        // First boot seeds from the series and checkpoints on shutdown;
+        // the second boot must recover from that checkpoint instead.
+        run(&args).unwrap();
+        crate::commands::wal::run(&argv(&[
+            "--dir",
+            data_dir.to_str().unwrap(),
+            "--op",
+            "verify",
+        ]))
+        .unwrap();
+        run(&args).unwrap();
+        std::fs::remove_dir_all(&data_dir).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@ commands:
   obs-dump   dump an observability snapshot from a server or pipeline run
   model      print the user-visitation model curves (paper figures 1-3)
   cohort     analytic popularity-vs-quality bias diagnostics
+  wal        inspect, verify, or compact a serve durability directory
 
 run `qrank <command> --help` for per-command options.
 set QRANK_OBS=1 to enable in-process tracing and metrics collection.";
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "obs-dump" => commands::obs_dump::run(rest),
         "model" => commands::model::run(rest),
         "cohort" => commands::cohort::run(rest),
+        "wal" => commands::wal::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

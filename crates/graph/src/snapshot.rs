@@ -137,9 +137,19 @@ impl Snapshot {
 }
 
 /// A time-ordered sequence of snapshots of the same (evolving) corpus.
+///
+/// Supports amortized-O(1) removal from the front (sliding-window
+/// consumers such as the serving layer's refresh engine evict the
+/// oldest snapshot on every slide): instead of shifting the vector,
+/// [`pop_front`](SnapshotSeries::pop_front) advances a head offset and
+/// the storage is compacted only when at least half of it is dead, so
+/// each element is moved O(1) times over its lifetime and
+/// [`snapshots`](SnapshotSeries::snapshots) can keep returning a
+/// contiguous slice.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotSeries {
     snapshots: Vec<Snapshot>,
+    head: usize,
 }
 
 impl SnapshotSeries {
@@ -162,38 +172,66 @@ impl SnapshotSeries {
         Ok(())
     }
 
+    /// Remove and return the oldest snapshot in amortized O(1) — no
+    /// clone, no shift of the remaining elements.
+    pub fn pop_front(&mut self) -> Option<Snapshot> {
+        if self.head >= self.snapshots.len() {
+            return None;
+        }
+        // Take the head element without shifting: swap an empty
+        // placeholder in (never observable — `snapshots()` starts at
+        // `head`, and compaction drains placeholders away).
+        let out = std::mem::replace(
+            &mut self.snapshots[self.head],
+            Snapshot {
+                time: f64::NEG_INFINITY,
+                graph: crate::GraphBuilder::with_nodes(0).build(),
+                pages: Vec::new(),
+                index: HashMap::new(),
+                fingerprint: 0,
+            },
+        );
+        self.head += 1;
+        if self.head * 2 > self.snapshots.len() {
+            self.snapshots.drain(..self.head);
+            self.head = 0;
+        }
+        Some(out)
+    }
+
     /// The snapshots, oldest first.
     pub fn snapshots(&self) -> &[Snapshot] {
-        &self.snapshots
+        &self.snapshots[self.head..]
     }
 
     /// Number of snapshots.
     pub fn len(&self) -> usize {
-        self.snapshots.len()
+        self.snapshots.len() - self.head
     }
 
     /// True when the series holds no snapshots.
     pub fn is_empty(&self) -> bool {
-        self.snapshots.is_empty()
+        self.len() == 0
     }
 
     /// Pages present in *every* snapshot, ascending by id — the paper's
     /// "2.7 million pages were common in all four snapshots" step.
     pub fn common_pages(&self) -> Vec<PageId> {
-        let Some(first) = self.snapshots.first() else {
+        let live = self.snapshots();
+        let Some(first) = live.first() else {
             return Vec::new();
         };
         // Each snapshot lists a page at most once (enforced by
         // `Snapshot::new`), so "present in all" is "seen len() times".
         let mut counts: HashMap<PageId, u32> = first.pages.iter().map(|&p| (p, 1)).collect();
-        for s in &self.snapshots[1..] {
+        for s in &live[1..] {
             for &p in &s.pages {
                 if let Some(c) = counts.get_mut(&p) {
                     *c += 1;
                 }
             }
         }
-        let full = self.snapshots.len() as u32;
+        let full = live.len() as u32;
         let mut common: Vec<PageId> = counts
             .into_iter()
             .filter(|&(_, c)| c == full)
@@ -208,7 +246,7 @@ impl SnapshotSeries {
     pub fn aligned_to_common(&self) -> Result<SnapshotSeries, GraphError> {
         let common = self.common_pages();
         let mut out = SnapshotSeries::new();
-        for s in &self.snapshots {
+        for s in self.snapshots() {
             out.push(s.restrict_to(&common)?)?;
         }
         Ok(out)
@@ -216,7 +254,7 @@ impl SnapshotSeries {
 
     /// Check that all snapshots share an identical `pages` vector.
     pub fn is_aligned(&self) -> bool {
-        match self.snapshots.split_first() {
+        match self.snapshots().split_first() {
             None => true,
             Some((first, rest)) => rest.iter().all(|s| s.pages == first.pages),
         }
@@ -224,7 +262,7 @@ impl SnapshotSeries {
 
     /// Capture times of all snapshots.
     pub fn times(&self) -> Vec<f64> {
-        self.snapshots.iter().map(|s| s.time).collect()
+        self.snapshots().iter().map(|s| s.time).collect()
     }
 }
 
@@ -317,6 +355,46 @@ mod tests {
         series.push(snap(5.0, &[], &[1])).unwrap();
         assert!(series.push(snap(4.0, &[], &[1])).is_err());
         assert_eq!(series.times(), vec![5.0]);
+    }
+
+    #[test]
+    fn pop_front_slides_the_window() {
+        let mut series = SnapshotSeries::new();
+        for t in 0..6 {
+            series.push(snap(t as f64, &[], &[t as u64])).unwrap();
+        }
+        let popped = series.pop_front().unwrap();
+        assert_eq!(popped.time, 0.0);
+        assert_eq!(popped.pages, vec![PageId(0)]);
+        assert_eq!(series.len(), 5);
+        assert_eq!(series.snapshots()[0].time, 1.0);
+        assert_eq!(series.times(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Interleave pops and pushes across several compactions.
+        for t in 6..30u64 {
+            series.push(snap(t as f64, &[], &[t])).unwrap();
+            let p = series.pop_front().unwrap();
+            assert_eq!(p.pages, vec![PageId(t - 5)]);
+            assert_eq!(series.len(), 5);
+            assert_eq!(series.snapshots().len(), 5);
+        }
+        assert_eq!(series.times(), vec![25.0, 26.0, 27.0, 28.0, 29.0]);
+    }
+
+    #[test]
+    fn pop_front_drains_to_empty_and_recovers() {
+        let mut series = SnapshotSeries::new();
+        assert!(series.pop_front().is_none());
+        series.push(snap(1.0, &[], &[1])).unwrap();
+        series.push(snap(2.0, &[], &[2])).unwrap();
+        assert_eq!(series.pop_front().unwrap().time, 1.0);
+        assert_eq!(series.pop_front().unwrap().time, 2.0);
+        assert!(series.pop_front().is_none());
+        assert!(series.is_empty());
+        assert!(series.common_pages().is_empty());
+        // An emptied series accepts any time again after compaction
+        // only if the placeholder never leaks into the tail check.
+        series.push(snap(0.5, &[], &[3])).unwrap();
+        assert_eq!(series.times(), vec![0.5]);
     }
 
     #[test]

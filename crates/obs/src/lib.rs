@@ -1,8 +1,9 @@
 //! Unified observability for the qrank workspace.
 //!
-//! Everything the simulator, the solvers, the estimation pipeline, and
-//! the serving front end want to say about themselves flows through this
-//! crate, in four layers:
+//! Everything the simulator, the solvers, the estimation pipeline, the
+//! serving front end, and the durability journal (`wal.*` counters and
+//! spans) want to say about themselves flows through this crate, in
+//! four layers:
 //!
 //! * **[`registry`]** — a lock-free metrics registry of named counters,
 //!   gauges, and power-of-two-bucket latency histograms. Handles are

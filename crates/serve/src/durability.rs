@@ -1,0 +1,319 @@
+//! Durable ingestion: journaling and checkpointing for the refresh
+//! engine.
+//!
+//! The [`crate::RefreshEngine`] journals every [`crate::EdgeDelta`] to a
+//! [`qrank_wal::Wal`] *before* applying it (write-ahead ordering), and
+//! periodically checkpoints its full state so recovery replays only a
+//! short WAL tail. This module owns the glue: delta ↔ WAL-record
+//! conversion, the checkpoint payload codec, and the journal
+//! bookkeeping around the raw log.
+//!
+//! ## What a checkpoint stores
+//!
+//! Not the dynamic graph's event history — only what future snapshots
+//! can observe of it:
+//!
+//! * the page list in node order (which fixes the node numbering),
+//! * the set of currently alive edges,
+//! * the snapshot window itself (via `qrank_graph::io::encode_series`),
+//! * the published generation counter and the newest snapshot time.
+//!
+//! Rebuilding the graph as "every known page born at the last snapshot
+//! time, every alive edge added then" yields *bitwise identical* future
+//! snapshots, because `DynamicGraph::snapshot_at(t)` only asks which
+//! births and edge events are `≤ t`, ingest times never decrease, and
+//! the CSR construction orders edges canonically. Combined with the
+//! stage engine's fingerprint-keyed caching discipline (equal snapshots
+//! ⇒ equal columns, bit for bit), a recovered engine publishes exactly
+//! the scores the uninterrupted process would have — the recovery test
+//! asserts this down to the last bit.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use bytes::{Buf, BufMut, BytesMut};
+use qrank_graph::SnapshotSeries;
+use qrank_wal::{DeltaRecord, FsyncPolicy, Wal, WalError, WalOptions};
+
+use crate::error::ServeError;
+use crate::refresh::EdgeDelta;
+
+/// How the refresh engine persists its ingest stream.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments and checkpoints (created if
+    /// absent).
+    pub dir: PathBuf,
+    /// When journal appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Take an automatic checkpoint after this many ingested deltas
+    /// (0 = only on explicit request / clean shutdown).
+    pub checkpoint_every: u64,
+}
+
+impl DurabilityConfig {
+    /// Defaults (`fsync every:64`, checkpoint every 256 deltas) rooted
+    /// at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// What recovery found and did, for operators and benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Generation restored from the checkpoint (`None`: no checkpoint,
+    /// the log was replayed from the beginning).
+    pub checkpoint_generation: Option<u64>,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed_records: u64,
+    /// Why the newest segment's tail was truncated, if it was.
+    pub torn_tail: Option<String>,
+    /// Checkpoints that failed validation and were skipped.
+    pub skipped_checkpoints: u64,
+    /// Replayed deltas the engine rejected (exactly as the original
+    /// process rejected them — state is unaffected either way).
+    pub replay_errors: Vec<String>,
+}
+
+/// The engine's handle on its write-ahead log: the raw [`Wal`] plus the
+/// automatic-checkpoint countdown.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    wal: Wal,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl Journal {
+    pub(crate) fn new(wal: Wal, checkpoint_every: u64) -> Self {
+        Journal {
+            wal,
+            checkpoint_every,
+            since_checkpoint: 0,
+        }
+    }
+
+    /// Append one delta (write-ahead: callers do this *before* mutating
+    /// engine state).
+    pub(crate) fn append(&mut self, delta: &EdgeDelta) -> Result<(), WalError> {
+        self.wal
+            .append(&qrank_wal::encode_delta(&record_of_delta(delta)))?;
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Has the automatic-checkpoint interval elapsed?
+    pub(crate) fn due(&self) -> bool {
+        self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Write a checkpoint with `payload` and compact. Returns its LSN.
+    pub(crate) fn checkpoint(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        let lsn = self.wal.checkpoint(payload)?;
+        self.since_checkpoint = 0;
+        Ok(lsn)
+    }
+
+    /// Flush outstanding appends to stable storage.
+    pub(crate) fn sync(&mut self) -> Result<(), WalError> {
+        self.wal.sync()
+    }
+
+    pub(crate) fn stats(&self) -> qrank_wal::WalStats {
+        self.wal.stats()
+    }
+}
+
+/// Open the WAL under `cfg.dir`.
+pub(crate) fn open_wal(cfg: &DurabilityConfig) -> Result<(Wal, qrank_wal::Recovery), WalError> {
+    let opts = WalOptions {
+        fsync: cfg.fsync,
+        ..WalOptions::default()
+    };
+    Wal::open(&cfg.dir, opts)
+}
+
+/// Serving-layer delta → journal record (field-identical twins; the WAL
+/// crate cannot depend on this one).
+pub(crate) fn record_of_delta(d: &EdgeDelta) -> DeltaRecord {
+    DeltaRecord {
+        time: d.time,
+        new_pages: d.new_pages.clone(),
+        added: d.added.clone(),
+        removed: d.removed.clone(),
+    }
+}
+
+/// Journal record → serving-layer delta.
+pub(crate) fn delta_of_record(r: DeltaRecord) -> EdgeDelta {
+    EdgeDelta {
+        time: r.time,
+        new_pages: r.new_pages,
+        added: r.added,
+        removed: r.removed,
+    }
+}
+
+/// Engine state as stored in (and restored from) a checkpoint payload.
+#[derive(Debug)]
+pub(crate) struct CheckpointState {
+    /// Published generation counter at checkpoint time.
+    pub generation: u64,
+    /// Newest snapshot time (`NEG_INFINITY` when the window is empty);
+    /// rebuilt nodes and edges are all stamped with this time.
+    pub last_time: f64,
+    /// Page of each node, in node order (fixes the node numbering).
+    pub page_of_node: Vec<u64>,
+    /// Edges alive at checkpoint time.
+    pub alive_edges: Vec<(u64, u64)>,
+    /// The snapshot window.
+    pub series: SnapshotSeries,
+}
+
+const STATE_VERSION: u16 = 1;
+
+/// Encode engine state into a checkpoint payload.
+pub(crate) fn encode_state(
+    generation: u64,
+    page_of_node: &[u64],
+    alive_edges: &BTreeSet<(u64, u64)>,
+    series: &SnapshotSeries,
+) -> Vec<u8> {
+    let series_bytes = qrank_graph::io::encode_series(series);
+    let last_time = series
+        .snapshots()
+        .last()
+        .map_or(f64::NEG_INFINITY, |s| s.time);
+    let mut buf = BytesMut::with_capacity(
+        2 + 8
+            + 8
+            + 8
+            + page_of_node.len() * 8
+            + 8
+            + alive_edges.len() * 16
+            + 8
+            + series_bytes.len(),
+    );
+    buf.put_u16_le(STATE_VERSION);
+    buf.put_u64_le(generation);
+    buf.put_f64_le(last_time);
+    buf.put_u64_le(page_of_node.len() as u64);
+    for &p in page_of_node {
+        buf.put_u64_le(p);
+    }
+    buf.put_u64_le(alive_edges.len() as u64);
+    for &(s, d) in alive_edges {
+        buf.put_u64_le(s);
+        buf.put_u64_le(d);
+    }
+    buf.put_u64_le(series_bytes.len() as u64);
+    buf.put_slice(&series_bytes);
+    buf.to_vec()
+}
+
+fn short(msg: &str) -> ServeError {
+    ServeError::Wal(WalError::Decode(format!("checkpoint state: {msg}")))
+}
+
+/// Decode a checkpoint payload back into engine state.
+pub(crate) fn decode_state(mut buf: &[u8]) -> Result<CheckpointState, ServeError> {
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<(), ServeError> {
+        if buf.remaining() < n {
+            Err(short(&format!("truncated while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 2 + 8 + 8 + 8, "header")?;
+    let version = buf.get_u16_le();
+    if version != STATE_VERSION {
+        return Err(short(&format!("unsupported version {version}")));
+    }
+    let generation = buf.get_u64_le();
+    let last_time = buf.get_f64_le();
+    let n_pages = buf.get_u64_le();
+    let page_bytes = n_pages
+        .checked_mul(8)
+        .ok_or_else(|| short("page count overflows"))?;
+    need(&buf, page_bytes as usize + 8, "page ids")?;
+    let mut page_of_node = Vec::with_capacity(n_pages as usize);
+    for _ in 0..n_pages {
+        page_of_node.push(buf.get_u64_le());
+    }
+    let n_edges = buf.get_u64_le();
+    let edge_bytes = n_edges
+        .checked_mul(16)
+        .ok_or_else(|| short("edge count overflows"))?;
+    need(&buf, edge_bytes as usize + 8, "alive edges")?;
+    let mut alive_edges = Vec::with_capacity(n_edges as usize);
+    for _ in 0..n_edges {
+        alive_edges.push((buf.get_u64_le(), buf.get_u64_le()));
+    }
+    let series_len = buf.get_u64_le();
+    if series_len != buf.remaining() as u64 {
+        return Err(short(&format!(
+            "series length {series_len} disagrees with {} remaining bytes",
+            buf.remaining()
+        )));
+    }
+    let series = qrank_graph::io::decode_series(buf).map_err(ServeError::Graph)?;
+    Ok(CheckpointState {
+        generation,
+        last_time,
+        page_of_node,
+        alive_edges,
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrank_graph::{CsrGraph, PageId, Snapshot};
+
+    #[test]
+    fn state_roundtrips() {
+        let mut series = SnapshotSeries::new();
+        let pages: Vec<PageId> = (0..3).map(PageId).collect();
+        series
+            .push(Snapshot::new(2.5, CsrGraph::from_edges(3, &[(0, 1), (2, 0)]), pages).unwrap())
+            .unwrap();
+        let alive: BTreeSet<(u64, u64)> = [(0, 1), (2, 0)].into_iter().collect();
+        let payload = encode_state(7, &[0, 1, 2], &alive, &series);
+        let state = decode_state(&payload).unwrap();
+        assert_eq!(state.generation, 7);
+        assert_eq!(state.last_time, 2.5);
+        assert_eq!(state.page_of_node, vec![0, 1, 2]);
+        assert_eq!(state.alive_edges, vec![(0, 1), (2, 0)]);
+        assert_eq!(state.series.len(), 1);
+        assert_eq!(state.series.snapshots()[0].time, 2.5);
+    }
+
+    #[test]
+    fn state_rejects_truncation_at_every_prefix() {
+        let payload = encode_state(1, &[4, 9], &BTreeSet::new(), &SnapshotSeries::new());
+        for cut in 0..payload.len() {
+            assert!(
+                decode_state(&payload[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        assert!(decode_state(&payload).is_ok());
+    }
+
+    #[test]
+    fn delta_record_conversion_is_lossless() {
+        let delta = EdgeDelta {
+            time: 3.25,
+            new_pages: vec![5],
+            added: vec![(1, 2)],
+            removed: vec![(3, 4)],
+        };
+        assert_eq!(delta_of_record(record_of_delta(&delta)), delta);
+    }
+}

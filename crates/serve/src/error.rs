@@ -18,6 +18,10 @@ pub enum ServeError {
     UnknownPage(u64),
     /// Socket or file I/O failure.
     Io(std::io::Error),
+    /// Durability layer (journal or checkpoint) failure.
+    Wal(qrank_wal::WalError),
+    /// A load-generator worker thread panicked.
+    LoadThread(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -29,6 +33,8 @@ impl std::fmt::Display for ServeError {
             ServeError::Parse(msg) => write!(f, "parse error: {msg}"),
             ServeError::UnknownPage(p) => write!(f, "unknown page id {p}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Wal(e) => write!(f, "durability error: {e}"),
+            ServeError::LoadThread(msg) => write!(f, "load worker panicked: {msg}"),
         }
     }
 }
@@ -39,6 +45,7 @@ impl std::error::Error for ServeError {
             ServeError::Graph(e) => Some(e),
             ServeError::Core(e) => Some(e),
             ServeError::Io(e) => Some(e),
+            ServeError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -59,5 +66,11 @@ impl From<CoreError> for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<qrank_wal::WalError> for ServeError {
+    fn from(e: qrank_wal::WalError) -> Self {
+        ServeError::Wal(e)
     }
 }

@@ -12,6 +12,11 @@
 //!   warm-started solves (reusing the previous generation's trajectory
 //!   columns when the window only grew), and publishes new store
 //!   generations without ever blocking readers.
+//! * **Durability** ([`durability`]) — optional crash safety: every
+//!   ingested delta is journaled to a `qrank-wal` write-ahead log before
+//!   it is applied, engine state is checkpointed periodically, and
+//!   [`RefreshEngine::open_durable`](refresh::RefreshEngine::open_durable)
+//!   recovers a data directory to bitwise-identical published scores.
 //! * **Front end** ([`server`]) — a fixed-size thread-pool TCP server
 //!   speaking a line-delimited JSON protocol (`score <page>`,
 //!   `topk <n>`, `stats`, `metrics`, `health`), with an LRU cache for
@@ -46,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod durability;
 pub mod error;
 pub mod loadgen;
 pub mod metrics;
@@ -60,13 +66,17 @@ pub mod store;
 pub use qrank_obs::json;
 
 pub use cache::LruCache;
+pub use durability::{DurabilityConfig, RecoveryReport};
 pub use error::ServeError;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{parse_request, Request};
+/// Re-exported so callers configuring [`DurabilityConfig`] don't need a
+/// direct `qrank-wal` dependency.
+pub use qrank_wal::FsyncPolicy;
 pub use refresh::{
-    parse_deltas, spawn_refresh_worker, EdgeDelta, RefreshConfig, RefreshEngine, RefreshMsg,
-    RefreshStats,
+    format_delta, format_deltas, parse_deltas, spawn_refresh_worker, EdgeDelta, RefreshConfig,
+    RefreshEngine, RefreshMsg, RefreshStats,
 };
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{PageScores, ScoreStore, StoreHandle};

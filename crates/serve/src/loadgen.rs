@@ -167,7 +167,18 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("load thread panicked"))
+            .map(|h| {
+                h.join().unwrap_or_else(|panic| {
+                    // Surface the panic as an error instead of taking the
+                    // whole load run down with a second panic.
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "panic payload was not a string".into());
+                    Err(ServeError::LoadThread(msg))
+                })
+            })
             .collect()
     });
     let elapsed_seconds = started.elapsed().as_secs_f64();

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use qrank_core::{PaperEstimator, PipelineEngine, PopularityMetric};
 use qrank_graph::{DynamicGraph, NodeId, PageId, Snapshot, SnapshotSeries};
 
+use crate::durability::{self, DurabilityConfig, Journal, RecoveryReport};
 use crate::error::ServeError;
 use crate::store::{ScoreStore, StoreHandle};
 
@@ -130,6 +131,7 @@ pub struct RefreshEngine {
     pipeline: PipelineEngine,
     handle: Arc<StoreHandle>,
     generation: u64,
+    journal: Option<Journal>,
 }
 
 impl RefreshEngine {
@@ -152,6 +154,7 @@ impl RefreshEngine {
             pipeline,
             handle,
             generation: 0,
+            journal: None,
         })
     }
 
@@ -173,6 +176,152 @@ impl RefreshEngine {
         }
         engine.rerank()?;
         Ok(engine)
+    }
+
+    /// Open a *durable* engine rooted at `dur.dir`: recover the newest
+    /// valid checkpoint, replay the WAL tail through the normal ingest
+    /// path, and journal every subsequent ingest write-ahead.
+    ///
+    /// The recovered engine publishes exactly what the uninterrupted
+    /// process would have: the checkpoint pins the window and generation
+    /// bitwise (snapshots are rebuilt so `snapshot_at` cannot tell the
+    /// difference — see [`crate::durability`]), and replayed deltas run
+    /// through the same `ingest` code that produced them.
+    ///
+    /// `seed` is only consulted when the directory holds no history at
+    /// all (fresh deployment): its snapshots are ingested — and
+    /// journaled — as deltas, so the *next* boot recovers them from the
+    /// log instead.
+    pub fn open_durable(
+        cfg: RefreshConfig,
+        dur: &DurabilityConfig,
+        handle: Arc<StoreHandle>,
+        seed: Option<&SnapshotSeries>,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        let _span = qrank_obs::span!("refresh.recover");
+        let (wal, recovery) = durability::open_wal(dur)?;
+        let mut engine = Self::new(cfg, handle)?;
+        let mut report = RecoveryReport {
+            checkpoint_generation: None,
+            replayed_records: recovery.records.len() as u64,
+            torn_tail: recovery.torn_tail,
+            skipped_checkpoints: recovery.skipped_checkpoints,
+            replay_errors: Vec::new(),
+        };
+        if let Some(ck) = recovery.checkpoint {
+            let state = durability::decode_state(&ck.payload)?;
+            engine.restore(state)?;
+            report.checkpoint_generation = Some(engine.generation);
+        }
+        for (lsn, payload) in &recovery.records {
+            let delta = durability::delta_of_record(qrank_wal::decode_delta(payload)?);
+            // A rejected delta left the original process's state exactly
+            // as the partial apply did; replaying it does the same, so
+            // record the rejection and keep going — both histories agree.
+            if let Err(e) = engine.ingest_inner(&delta, false) {
+                report.replay_errors.push(format!("lsn {lsn}: {e}"));
+            }
+        }
+        engine.journal = Some(Journal::new(wal, dur.checkpoint_every));
+        if report.checkpoint_generation.is_none() && report.replayed_records == 0 {
+            if let Some(series) = seed {
+                for snap in series.snapshots() {
+                    let delta = engine.delta_from_snapshot(snap);
+                    engine.ingest_inner(&delta, true)?;
+                }
+            }
+        }
+        Ok((engine, report))
+    }
+
+    /// Rebuild engine state from a checkpoint. The dynamic graph is
+    /// reconstructed as "every page born at the last snapshot time,
+    /// every alive edge added then": all future `snapshot_at(t)` calls
+    /// (ingest times never decrease) see the same alive sets a replay of
+    /// the full event history would produce, and the CSR layer orders
+    /// edges canonically, so the rebuilt snapshots are bitwise identical.
+    fn restore(&mut self, state: durability::CheckpointState) -> Result<(), ServeError> {
+        let t = if state.last_time.is_finite() {
+            state.last_time
+        } else {
+            0.0
+        };
+        let mut graph = DynamicGraph::new();
+        let mut node_of_page = HashMap::with_capacity(state.page_of_node.len());
+        for &p in &state.page_of_node {
+            let n = graph.add_node(t)?;
+            node_of_page.insert(p, n);
+        }
+        let mut alive = BTreeSet::new();
+        for &(s, d) in &state.alive_edges {
+            let sn = *node_of_page.get(&s).ok_or(ServeError::UnknownPage(s))?;
+            let dn = *node_of_page.get(&d).ok_or(ServeError::UnknownPage(d))?;
+            graph.add_edge(sn, dn, t)?;
+            alive.insert((s, d));
+        }
+        self.graph = graph;
+        self.node_of_page = node_of_page;
+        self.page_of_node = state.page_of_node;
+        self.alive_edges = alive;
+        self.series = state.series;
+        self.generation = state.generation;
+        self.republish()
+    }
+
+    /// Publish the current window at the *current* generation — no bump.
+    /// Used after a checkpoint restore so a recovery with nothing to
+    /// replay still serves exactly what the checkpointed process served.
+    fn republish(&mut self) -> Result<(), ServeError> {
+        let Some(newest) = self.series.snapshots().last() else {
+            return Ok(());
+        };
+        let snapshot_time = newest.time;
+        if self.series.len() < 3 {
+            self.pipeline.warm(&self.series)?;
+            return Ok(());
+        }
+        let estimator = PaperEstimator {
+            c: self.cfg.c,
+            flat_tolerance: self.cfg.flat_tolerance,
+        };
+        let report = self
+            .pipeline
+            .run(&self.series, &estimator, self.cfg.min_relative_change)?;
+        let store = ScoreStore::from_report(&report, self.generation, snapshot_time);
+        self.handle.publish(store);
+        Ok(())
+    }
+
+    /// Sync the journal and write a checkpoint of the engine's full
+    /// state, compacting WAL segments it makes redundant. Returns the
+    /// checkpoint's LSN, or `None` when the engine is not durable.
+    pub fn checkpoint_now(&mut self) -> Result<Option<u64>, ServeError> {
+        if self.journal.is_none() {
+            return Ok(None);
+        }
+        let _span = qrank_obs::span!("refresh.checkpoint");
+        let payload = durability::encode_state(
+            self.generation,
+            &self.page_of_node,
+            &self.alive_edges,
+            &self.series,
+        );
+        let journal = self.journal.as_mut().expect("checked above");
+        Ok(Some(journal.checkpoint(&payload)?))
+    }
+
+    /// Flush outstanding journal appends to stable storage (no-op for a
+    /// non-durable engine).
+    pub fn sync_journal(&mut self) -> Result<(), ServeError> {
+        if let Some(j) = self.journal.as_mut() {
+            j.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Journal geometry, when this engine is durable.
+    pub fn wal_stats(&self) -> Option<qrank_wal::WalStats> {
+        self.journal.as_ref().map(|j| j.stats())
     }
 
     /// The handle this engine publishes through.
@@ -266,11 +415,8 @@ impl RefreshEngine {
             .collect();
         self.series.push(Snapshot::new(t, g, pages)?)?;
         while self.series.len() > self.cfg.max_window {
-            let mut slid = SnapshotSeries::new();
-            for old in &self.series.snapshots()[1..] {
-                slid.push(old.clone())?;
-            }
-            self.series = slid;
+            // Amortized O(1): no clone, no rebuild of the whole window.
+            self.series.pop_front();
         }
         Ok(())
     }
@@ -316,12 +462,34 @@ impl RefreshEngine {
     }
 
     /// Apply a delta, snapshot at its time, and rerank — the worker's
-    /// per-message unit of work.
+    /// per-message unit of work. On a durable engine the delta is
+    /// journaled *before* any state changes (write-ahead), and an
+    /// automatic checkpoint is taken when the configured interval has
+    /// elapsed.
     pub fn ingest(&mut self, delta: &EdgeDelta) -> Result<Option<RefreshStats>, ServeError> {
         let _span = qrank_obs::span!("refresh.ingest");
+        self.ingest_inner(delta, true)
+    }
+
+    /// The ingest body; `journal: false` is the recovery-replay path
+    /// (the records being replayed are already in the log).
+    fn ingest_inner(
+        &mut self,
+        delta: &EdgeDelta,
+        journal: bool,
+    ) -> Result<Option<RefreshStats>, ServeError> {
+        if journal {
+            if let Some(j) = self.journal.as_mut() {
+                j.append(delta)?;
+            }
+        }
         self.apply_delta(delta)?;
         self.push_snapshot(delta.time)?;
-        self.rerank()
+        let stats = self.rerank()?;
+        if journal && self.journal.as_ref().is_some_and(|j| j.due()) {
+            self.checkpoint_now()?;
+        }
+        Ok(stats)
     }
 }
 
@@ -388,6 +556,45 @@ pub fn parse_deltas(text: &str) -> Result<Vec<EdgeDelta>, ServeError> {
         return Err(ServeError::Parse(
             "trailing delta without a commit line".into(),
         ));
+    }
+    Ok(out)
+}
+
+/// Render one delta in the format [`parse_deltas`] reads — the exact
+/// inverse: `parse_deltas(&format_delta(d))` yields `[d]` for any delta
+/// with a finite time.
+///
+/// Returns an error for a non-finite time, which `parse_deltas` would
+/// reject on the way back in.
+pub fn format_delta(delta: &EdgeDelta) -> Result<String, ServeError> {
+    if !delta.time.is_finite() {
+        return Err(ServeError::Parse(format!(
+            "cannot format a delta with non-finite time {}",
+            delta.time
+        )));
+    }
+    let mut out = String::new();
+    for p in &delta.new_pages {
+        out.push_str(&format!("page {p}\n"));
+    }
+    for (s, d) in &delta.added {
+        out.push_str(&format!("+ {s} {d}\n"));
+    }
+    for (s, d) in &delta.removed {
+        out.push_str(&format!("- {s} {d}\n"));
+    }
+    // `{}` on an f64 round-trips through parse exactly (shortest
+    // representation that re-reads to the same bits).
+    out.push_str(&format!("commit {}\n", delta.time));
+    Ok(out)
+}
+
+/// Render a whole delta file: each delta in order, [`format_delta`]
+/// style. `parse_deltas(&format_deltas(ds))` reproduces `ds` exactly.
+pub fn format_deltas(deltas: &[EdgeDelta]) -> Result<String, ServeError> {
+    let mut out = String::new();
+    for d in deltas {
+        out.push_str(&format_delta(d)?);
     }
     Ok(out)
 }

@@ -1,0 +1,143 @@
+//! Property tests for the delta file format: `format_deltas` is the
+//! exact inverse of `parse_deltas`, and malformed, uncommitted, or
+//! truncated inputs are rejected rather than silently misread.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use qrank_serve::{format_delta, format_deltas, parse_deltas, EdgeDelta, ServeError};
+
+fn arbitrary_delta() -> impl Strategy<Value = EdgeDelta> {
+    (
+        -1.0e6f64..1.0e6,
+        prop::collection::vec(0u64..1000, 0..5),
+        prop::collection::vec((0u64..1000, 0u64..1000), 0..6),
+        prop::collection::vec((0u64..1000, 0u64..1000), 0..6),
+    )
+        .prop_map(|(time, new_pages, added, removed)| EdgeDelta {
+            time,
+            new_pages,
+            added,
+            removed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// format → parse is the identity on any batch of deltas, including
+    /// element order and the exact f64 commit times.
+    #[test]
+    fn roundtrip_is_identity(deltas in prop::collection::vec(arbitrary_delta(), 0..6)) {
+        let text = format_deltas(&deltas).unwrap();
+        let back = parse_deltas(&text).unwrap();
+        prop_assert_eq!(back, deltas);
+    }
+
+    /// Every finite f64 commit time survives the text round trip
+    /// bitwise, including denormals and extreme exponents.
+    #[test]
+    fn commit_time_roundtrips_bitwise(bits in 0u64..u64::MAX) {
+        let raw = f64::from_bits(bits);
+        // Fold the non-finite patterns onto a finite value so every
+        // generated case still exercises the round trip.
+        let time = if raw.is_finite() { raw } else { bits as f64 };
+        let delta = EdgeDelta::at(time);
+        let back = parse_deltas(&format_delta(&delta).unwrap()).unwrap();
+        prop_assert_eq!(back[0].time.to_bits(), time.to_bits());
+    }
+
+    /// Dropping the final commit line (simulating a file truncated
+    /// mid-delta) must be rejected whenever the last delta has content.
+    #[test]
+    fn truncated_file_is_rejected(raw_deltas in prop::collection::vec(arbitrary_delta(), 1..5)) {
+        let mut deltas = raw_deltas;
+        if let Some(last) = deltas.last_mut() {
+            if last.is_empty() {
+                last.new_pages.push(1); // make the tail observable
+            }
+        }
+        let text = format_deltas(&deltas).unwrap();
+        let (truncated, _) = text.trim_end().rsplit_once('\n').unwrap_or(("", ""));
+        prop_assert!(
+            matches!(parse_deltas(truncated), Err(ServeError::Parse(_))),
+            "uncommitted tail must not parse: {truncated:?}"
+        );
+    }
+
+    /// Truncating the text at ANY byte either yields a clean prefix of
+    /// the original deltas or an error — never different deltas.
+    #[test]
+    fn byte_truncation_yields_prefix_or_error(deltas in prop::collection::vec(arbitrary_delta(), 1..4)) {
+        let text = format_deltas(&deltas).unwrap();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            match parse_deltas(&text[..cut]) {
+                Ok(parsed) => {
+                    prop_assert!(parsed.len() <= deltas.len());
+                    // A truncated commit time can still parse as a valid
+                    // shorter number, so the *final* recovered delta may
+                    // differ in time only; every earlier one is exact.
+                    for (p, d) in parsed.iter().zip(&deltas).rev().skip(1) {
+                        prop_assert_eq!(p, d);
+                    }
+                    if let Some(p) = parsed.last() {
+                        let d = &deltas[parsed.len() - 1];
+                        prop_assert_eq!(&p.new_pages, &d.new_pages);
+                        prop_assert_eq!(&p.added, &d.added);
+                        prop_assert_eq!(&p.removed, &d.removed);
+                    }
+                }
+                Err(ServeError::Parse(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected error kind: {}", e),
+            }
+        }
+    }
+}
+
+#[test]
+fn nonfinite_times_cannot_be_formatted() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(matches!(
+            format_delta(&EdgeDelta::at(bad)),
+            Err(ServeError::Parse(_))
+        ));
+    }
+}
+
+#[test]
+fn malformed_lines_are_rejected() {
+    for bad in [
+        "+ 1 2\n",                              // uncommitted
+        "page\ncommit 1\n",                     // missing argument
+        "+ 1 2 3\ncommit 1\n",                  // extra argument
+        "- x y\ncommit 1\n",                    // non-numeric page ids
+        "commit\n",                             // commit without time
+        "commit inf\n",                         // non-finite time
+        "link 1 2\ncommit 1\n",                 // unknown directive
+        "+ 1 18446744073709551616\ncommit 1\n", // page id overflows u64
+    ] {
+        assert!(
+            matches!(parse_deltas(bad), Err(ServeError::Parse(_))),
+            "{bad:?} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn formatted_output_is_stable_and_commented_inputs_parse() {
+    let delta = EdgeDelta {
+        time: 1.5,
+        new_pages: vec![9],
+        added: vec![(0, 9)],
+        removed: vec![(3, 4)],
+    };
+    assert_eq!(
+        format_delta(&delta).unwrap(),
+        "page 9\n+ 0 9\n- 3 4\ncommit 1.5\n"
+    );
+    // Comments and blank lines are accepted on the way back in.
+    let text = "# header\n\npage 9\n+ 0 9\n- 3 4\ncommit 1.5 # trailing\n";
+    assert_eq!(parse_deltas(text).unwrap(), vec![delta]);
+}

@@ -1,0 +1,201 @@
+//! Checkpoints: atomic full-state snapshots keyed by LSN.
+//!
+//! A checkpoint file stores an opaque engine-state payload together with
+//! the log sequence number it covers: every record with `lsn <
+//! checkpoint.lsn` is folded into the payload and need not be replayed.
+//! Format (little-endian):
+//!
+//! ```text
+//! magic u32 | version u16 | reserved u16 | seq u64 | lsn u64 |
+//! payload_len u64 | payload | crc32(everything before) u32
+//! ```
+//!
+//! Files are written to a temp name, fsynced, then renamed into place,
+//! so a crash mid-checkpoint leaves the previous checkpoint untouched
+//! and at worst a stray `.tmp` file that open() sweeps. Recovery picks
+//! the *newest checkpoint that validates*; an unreadable newest
+//! checkpoint is skipped (and reported) in favour of an older one, since
+//! the WAL tail still covers the gap.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+use crate::crc::crc32;
+use crate::WalError;
+
+pub(crate) const CHECKPOINT_MAGIC: u32 = 0x5143_4B50; // "QCKP"
+pub(crate) const CHECKPOINT_VERSION: u16 = 1;
+/// Fixed bytes before the payload: magic(4) + version(2) + reserved(2)
+/// + seq(8) + lsn(8) + payload_len(8).
+const PREFIX_LEN: usize = 32;
+
+/// A validated checkpoint: an opaque engine-state payload plus the log
+/// position it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic checkpoint number (file-name ordering).
+    pub seq: u64,
+    /// Records with LSN below this are folded into `payload`; replay
+    /// starts here.
+    pub lsn: u64,
+    /// Opaque engine state (the WAL does not interpret it).
+    pub payload: Vec<u8>,
+}
+
+/// File name of checkpoint `seq` (zero-padded so lexical order is
+/// creation order).
+pub(crate) fn checkpoint_file_name(seq: u64) -> String {
+    format!("ckpt-{seq:020}.ck")
+}
+
+pub(crate) fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(checkpoint_file_name(seq))
+}
+
+/// Parse a checkpoint sequence number out of a file name, if it is one.
+pub(crate) fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".ck")?
+        .parse()
+        .ok()
+}
+
+/// Serialize a checkpoint to its on-disk bytes.
+pub(crate) fn encode_checkpoint(seq: u64, lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(PREFIX_LEN + payload.len() + 4);
+    buf.put_u32_le(CHECKPOINT_MAGIC);
+    buf.put_u16_le(CHECKPOINT_VERSION);
+    buf.put_u16_le(0); // reserved
+    buf.put_u64_le(seq);
+    buf.put_u64_le(lsn);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(payload);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+fn corrupt(path: &Path, offset: u64, reason: impl Into<String>) -> WalError {
+    WalError::Corrupt {
+        file: path.display().to_string(),
+        offset,
+        reason: reason.into(),
+    }
+}
+
+/// Read and fully validate one checkpoint file.
+pub(crate) fn read_checkpoint(path: &Path) -> Result<Checkpoint, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < PREFIX_LEN + 4 {
+        return Err(corrupt(path, 0, "file shorter than a checkpoint prefix"));
+    }
+    let body_len = bytes.len() - 4;
+    let stored_crc = (&bytes[body_len..]).get_u32_le();
+    if crc32(&bytes[..body_len]) != stored_crc {
+        return Err(corrupt(path, 0, "checkpoint CRC mismatch"));
+    }
+    let mut head = &bytes[..PREFIX_LEN];
+    let magic = head.get_u32_le();
+    if magic != CHECKPOINT_MAGIC {
+        return Err(corrupt(path, 0, format!("bad checkpoint magic {magic:#x}")));
+    }
+    let version = head.get_u16_le();
+    if version != CHECKPOINT_VERSION {
+        return Err(corrupt(
+            path,
+            4,
+            format!("unsupported checkpoint version {version}"),
+        ));
+    }
+    head.get_u16_le(); // reserved
+    let seq = head.get_u64_le();
+    let lsn = head.get_u64_le();
+    let payload_len = head.get_u64_le();
+    if payload_len != (body_len - PREFIX_LEN) as u64 {
+        return Err(corrupt(
+            path,
+            24,
+            format!(
+                "payload length {payload_len} disagrees with file size ({} bytes of payload)",
+                body_len - PREFIX_LEN
+            ),
+        ));
+    }
+    Ok(Checkpoint {
+        seq,
+        lsn,
+        payload: bytes[PREFIX_LEN..body_len].to_vec(),
+    })
+}
+
+/// Write a checkpoint atomically: temp file, fsync, rename.
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    seq: u64,
+    lsn: u64,
+    payload: &[u8],
+) -> Result<(), WalError> {
+    let tmp = dir.join(format!("ckpt-{seq:020}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(&encode_checkpoint(seq, lsn, payload))?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, checkpoint_path(dir, seq))?;
+    Ok(())
+}
+
+/// Checkpoint sequence numbers present in `dir`, ascending.
+pub(crate) fn list_checkpoints(dir: &Path) -> Result<Vec<u64>, WalError> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        assert_eq!(parse_checkpoint_name(&checkpoint_file_name(5)), Some(5));
+        assert_eq!(parse_checkpoint_name("seg-00000000000000000001.wal"), None);
+        assert_eq!(parse_checkpoint_name("ckpt-xyz.ck"), None);
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_corruption_detected() {
+        let dir = std::env::temp_dir().join("qrank_wal_ckpt_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        write_checkpoint(&dir, 2, 99, b"engine state").unwrap();
+        let ck = read_checkpoint(&checkpoint_path(&dir, 2)).unwrap();
+        assert_eq!(ck.seq, 2);
+        assert_eq!(ck.lsn, 99);
+        assert_eq!(ck.payload, b"engine state");
+        assert_eq!(list_checkpoints(&dir).unwrap(), vec![2]);
+
+        // Flip each byte in turn: every flip must be detected.
+        let path = checkpoint_path(&dir, 2);
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                read_checkpoint(&path).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,313 @@
+//! Fault injection: damage WAL files every way a crash or a bad disk
+//! can, then check the safety invariant — recovery yields an exact
+//! *prefix* of what was appended, or a hard error. Never a reordered,
+//! gapped, or fabricated record sequence, and never a silently accepted
+//! corruption.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use qrank_wal::{Wal, WalError, WalOptions};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qrank_wal_faults_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Distinguishable payload for record `i`.
+fn payload(i: u64) -> Vec<u8> {
+    let mut p = i.to_le_bytes().to_vec();
+    p.extend(std::iter::repeat_n(i as u8, (i % 7) as usize));
+    p
+}
+
+/// Build a single-segment log of `n` records and return the segment
+/// file path.
+fn build_log(dir: &Path, n: u64) -> PathBuf {
+    let (mut wal, rec) = Wal::open(dir, WalOptions::default()).unwrap();
+    assert!(rec.records.is_empty());
+    for i in 0..n {
+        wal.append(&payload(i)).unwrap();
+    }
+    wal.sync().unwrap();
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    assert_eq!(segs.len(), 1);
+    segs.pop().unwrap()
+}
+
+/// The safety invariant: opening after damage must either recover an
+/// exact prefix of the `n` appended records or fail loudly.
+fn assert_prefix_or_error(dir: &Path, n: u64, what: &str) {
+    match Wal::open(dir, WalOptions::default()) {
+        Ok((wal, rec)) => {
+            assert_eq!(
+                rec.records.len() as u64,
+                wal.next_lsn(),
+                "{what}: record count and next LSN disagree"
+            );
+            assert!(
+                rec.records.len() as u64 <= n,
+                "{what}: recovered more records than were written"
+            );
+            for (i, (lsn, p)) in rec.records.iter().enumerate() {
+                assert_eq!(*lsn, i as u64, "{what}: LSN gap at {i}");
+                assert_eq!(*p, payload(i as u64), "{what}: wrong payload at LSN {i}");
+            }
+        }
+        Err(WalError::Corrupt { .. }) => {} // loud failure is allowed
+        Err(e) => panic!("{what}: unexpected error kind {e}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_prefix() {
+    let dir = tmpdir("truncate");
+    let seg = build_log(&dir, 8);
+    let clean = std::fs::read(&seg).unwrap();
+    for cut in 0..clean.len() as u64 {
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        assert_prefix_or_error(&dir, 8, &format!("truncated to {cut} bytes"));
+        std::fs::write(&seg, &clean).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_to_frame_boundaries_recovers_that_many_records() {
+    let dir = tmpdir("boundaries");
+    let seg = build_log(&dir, 6);
+    // Record the clean frame boundaries by replaying recovery once.
+    let (_, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+    assert_eq!(rec.records.len(), 6);
+    let mut boundary = 28u64; // segment header
+    let mut boundaries = vec![(boundary, 0u64)];
+    for (_, p) in &rec.records {
+        boundary += 8 + p.len() as u64;
+        boundaries.push((boundary, boundaries.len() as u64));
+    }
+    let clean = std::fs::read(&seg).unwrap();
+    for (cut, expect) in boundaries {
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let (wal, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(rec.records.len() as u64, expect, "cut at byte {cut}");
+        assert_eq!(wal.next_lsn(), expect);
+        assert!(rec.torn_tail.is_none(), "a boundary cut is clean, not torn");
+        std::fs::write(&seg, &clean).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flip_at_every_byte() {
+    let dir = tmpdir("bitflip");
+    let seg = build_log(&dir, 8);
+    let clean = std::fs::read(&seg).unwrap();
+    for i in 0..clean.len() {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x10;
+        std::fs::write(&seg, &bad).unwrap();
+        assert_prefix_or_error(&dir, 8, &format!("bit flip at byte {i}"));
+        std::fs::write(&seg, &clean).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn short_write_of_appended_frame() {
+    // Simulate a crash that persists only part of each append: replay
+    // from a boundary, then extend with k bytes of the next frame.
+    let dir = tmpdir("shortwrite");
+    let seg = build_log(&dir, 3);
+    let clean = std::fs::read(&seg).unwrap();
+    let (_, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+    let second_boundary = 28
+        + rec.records[..2]
+            .iter()
+            .map(|(_, p)| 8 + p.len() as u64)
+            .sum::<u64>();
+    let last_frame_len = clean.len() as u64 - second_boundary;
+    for k in 1..last_frame_len {
+        let mut bytes = clean[..second_boundary as usize].to_vec();
+        bytes.extend_from_slice(&clean[second_boundary as usize..(second_boundary + k) as usize]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let (wal, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(rec.records.len(), 2, "short write of {k} bytes");
+        assert_eq!(wal.next_lsn(), 2);
+        assert!(rec.torn_tail.is_some(), "partial frame must report torn");
+        std::fs::write(&seg, &clean).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_segment_corruption_is_a_hard_error() {
+    let dir = tmpdir("midseg");
+    let seg = build_log(&dir, 8);
+    let mut bytes = std::fs::read(&seg).unwrap();
+    // Flip a payload byte of the FIRST record: valid frames follow, so
+    // this cannot be a torn tail and must never be skipped.
+    let first_payload_at = 28 + 8;
+    bytes[first_payload_at] ^= 0xFF;
+    std::fs::write(&seg, &bytes).unwrap();
+    match Wal::open(&dir, WalOptions::default()) {
+        Err(WalError::Corrupt { reason, .. }) => {
+            assert!(reason.contains("CRC"), "unexpected reason: {reason}")
+        }
+        other => panic!("mid-segment damage must be Corrupt, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_tail_in_older_segment_is_a_hard_error() {
+    let dir = tmpdir("oldtorn");
+    let opts = WalOptions {
+        max_segment_bytes: 64,
+        ..WalOptions::default()
+    };
+    {
+        let (mut wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+        for i in 0..20u64 {
+            wal.append(&payload(i)).unwrap();
+        }
+        assert!(wal.stats().segments > 2);
+        wal.sync().unwrap();
+    }
+    // Truncate the OLDEST segment: a crash only tears the newest, so
+    // recovery must refuse rather than drop a middle run of records.
+    let oldest = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .min()
+        .unwrap();
+    let len = std::fs::metadata(&oldest).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&oldest)
+        .unwrap()
+        .set_len(len - 1)
+        .unwrap();
+    assert!(
+        matches!(Wal::open(&dir, opts), Err(WalError::Corrupt { .. })),
+        "torn non-final segment must be a hard error"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_segment_in_the_chain_is_a_hard_error() {
+    let dir = tmpdir("gap");
+    let opts = WalOptions {
+        max_segment_bytes: 64,
+        ..WalOptions::default()
+    };
+    {
+        let (mut wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+        for i in 0..20u64 {
+            wal.append(&payload(i)).unwrap();
+        }
+        assert!(wal.stats().segments >= 3);
+        wal.sync().unwrap();
+    }
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    segs.sort();
+    std::fs::remove_file(&segs[1]).unwrap();
+    assert!(
+        matches!(Wal::open(&dir, opts), Err(WalError::Corrupt { .. })),
+        "a hole in the segment chain must be a hard error"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn header_corruption_is_a_hard_error() {
+    let dir = tmpdir("header");
+    let seg = build_log(&dir, 4);
+    let clean = std::fs::read(&seg).unwrap();
+    for i in 0..28 {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x01;
+        std::fs::write(&seg, &bad).unwrap();
+        assert!(
+            matches!(
+                Wal::open(&dir, WalOptions::default()),
+                Err(WalError::Corrupt { .. })
+            ),
+            "header flip at byte {i} must be a hard error"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_corruption_every_byte_falls_back_or_errors() {
+    let dir = tmpdir("ckptflip");
+    {
+        let (mut wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        for i in 0..4u64 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.checkpoint(b"ckpt-a").unwrap();
+        for i in 4..6u64 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.checkpoint(b"ckpt-b").unwrap();
+    }
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ck"))
+        .max()
+        .unwrap();
+    let clean = std::fs::read(&newest).unwrap();
+    for i in 0..clean.len() {
+        let mut bad = clean.clone();
+        bad[i] ^= 0x20;
+        std::fs::write(&newest, &bad).unwrap();
+        let (_, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(rec.skipped_checkpoints, 1, "flip at byte {i}");
+        let ck = rec.checkpoint.expect("must fall back to ckpt-a");
+        assert_eq!(ck.payload, b"ckpt-a", "flip at byte {i}");
+        let lsns: Vec<u64> = rec.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![4, 5], "flip at byte {i}: gap must replay");
+        std::fs::write(&newest, &clean).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stray_tmp_files_are_swept() {
+    let dir = tmpdir("tmpsweep");
+    build_log(&dir, 3);
+    std::fs::write(dir.join("seg-00000000000000000009.tmp"), b"half").unwrap();
+    std::fs::write(dir.join("ckpt-00000000000000000009.tmp"), b"half").unwrap();
+    let (_, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+    assert_eq!(rec.records.len(), 3);
+    let tmps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+        .collect();
+    assert!(tmps.is_empty(), "crash leftovers must be swept: {tmps:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
