@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the snapshot-alignment hot path: the
+//! paper's common-page restriction as it actually runs in the pipeline.
+//!
+//! Three rungs of the same workload (a 100k-page generated series):
+//! `cold_restrict` pays the defensive public API (per-call keep-set
+//! validation and index build), `fused_restrict` is the trusted
+//! single-pass path against a pre-built shared [`PageSet`], and
+//! `parallel_align` restricts the whole window on 1/2/8 scoped worker
+//! threads (bitwise-identical output at every budget).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrank_graph::generators::barabasi_albert;
+use qrank_graph::{restrict_snapshots, NodeId, PageId, PageSet, Snapshot, SnapshotSeries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const PAGES: u32 = 100_000;
+const WINDOW: u32 = 4;
+
+/// A 4-snapshot series over a 100k-page preferential-attachment web;
+/// each snapshot misses a different pseudo-random 5% of the pages, so
+/// the common set is a genuine intersection (~81% of the universe).
+fn series_100k() -> (SnapshotSeries, Arc<PageSet>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let base = barabasi_albert(PAGES as usize, 8, &mut rng);
+    let mut series = SnapshotSeries::new();
+    for t in 0..WINDOW {
+        let keep: Vec<NodeId> = (0..PAGES)
+            .filter(|&u| u.wrapping_mul(2_654_435_761).wrapping_add(t * 97) % 20 != 0)
+            .collect();
+        let g = base.induced_subgraph_sorted(&keep);
+        let pages = PageSet::from_sorted(keep.iter().map(|&u| PageId(u as u64)).collect());
+        series
+            .push(Snapshot::from_page_set(t as f64, g, pages).unwrap())
+            .unwrap();
+    }
+    let common = PageSet::from_sorted(series.common_pages());
+    (series, common)
+}
+
+fn bench_align_restrict(c: &mut Criterion) {
+    let (series, common) = series_100k();
+    let snap = &series.snapshots()[0];
+    let common_ids: Vec<PageId> = common.ids().to_vec();
+
+    let mut group = c.benchmark_group("align_restrict");
+    group.sample_size(10);
+
+    // Defensive public path: validates + indexes the keep set per call.
+    group.bench_function("cold_restrict", |b| {
+        b.iter(|| black_box(snap.restrict_to(&common_ids).unwrap()))
+    });
+
+    // Trusted fused path against the shared page universe.
+    group.bench_function("fused_restrict", |b| {
+        b.iter(|| black_box(snap.restrict_to_set(&common).unwrap()))
+    });
+
+    // The whole window, at the thread budgets the equivalence suite
+    // pins. Output is identical at every budget; only wall clock moves.
+    for threads in [1usize, 2, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_align", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(restrict_snapshots(series.snapshots(), &common, threads).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_align_restrict);
+criterion_main!(benches);

@@ -56,6 +56,21 @@ fn sim_fingerprint(world: &World) -> u64 {
     h.0
 }
 
+/// Seconds the current obs registry has accumulated in the pipeline's
+/// align stage, summed over every span path that ends in the stage name
+/// (the stage nests under `pipeline.run` or `pipeline.warm` depending
+/// on the caller). Call between a `qrank_obs::reset` and the next one
+/// so the number covers exactly one measured region.
+fn align_seconds() -> f64 {
+    qrank_obs::global()
+        .snapshot()
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.ends_with("pipeline.stage.align"))
+        .map(|(_, h)| h.sum as f64 / 1e9)
+        .sum()
+}
+
 struct RunResult {
     threads: usize,
     pages: usize,
@@ -63,6 +78,7 @@ struct RunResult {
     sim_seconds: f64,
     snapshot_seconds: f64,
     rank_estimate_seconds: f64,
+    align_seconds: f64,
     total_seconds: f64,
     fingerprint: u64,
     improvement_factor: f64,
@@ -108,6 +124,7 @@ fn run_once(
         sim_seconds,
         snapshot_seconds,
         rank_estimate_seconds,
+        align_seconds: align_seconds(),
         total_seconds,
         fingerprint: sim_fingerprint(&world),
         improvement_factor: report.improvement_factor(),
@@ -120,6 +137,8 @@ struct SlideResult {
     tracked_pages: usize,
     cold: StageStats,
     slide: StageStats,
+    cold_align_seconds: f64,
+    align_seconds: f64,
     slide_seconds: f64,
     rank_solves: u64,
     column_hit_rate: f64,
@@ -144,7 +163,7 @@ fn stats_obj(s: &StageStats) -> String {
 /// snapshot's), which the `rank.solve.*` counters prove.
 fn window_slide(mut world: World, series: &SnapshotSeries, extra_time: f64) -> SlideResult {
     qrank_rank::set_thread_budget(1);
-    let tracked = series.snapshots()[0].pages.clone();
+    let tracked = series.snapshots()[0].pages().to_vec();
     let restrict = |snap: &Snapshot| snap.restrict_to(&tracked).expect("tracked pages never die");
 
     let mut snaps: Vec<Snapshot> = series.snapshots().iter().map(restrict).collect();
@@ -161,10 +180,13 @@ fn window_slide(mut world: World, series: &SnapshotSeries, extra_time: f64) -> S
 
     let cfg = PipelineConfig::default();
     let mut engine = PipelineEngine::new(cfg.metric.clone());
+    // reset so the cold run's align span is measured in isolation too
+    qrank_obs::reset();
     engine
         .run_config(&window(0..snaps.len() - 1), &cfg)
         .expect("cold engine run");
     let cold = engine.stats();
+    let cold_align_seconds = align_seconds();
 
     // measure the slide alone: obs counters cover exactly this run
     qrank_obs::reset();
@@ -174,6 +196,7 @@ fn window_slide(mut world: World, series: &SnapshotSeries, extra_time: f64) -> S
         .expect("slide engine run");
     let slide_seconds = started.elapsed().as_secs_f64();
     let slide = engine.stats();
+    let slide_align_seconds = align_seconds();
     qrank_rank::set_thread_budget(0);
 
     let obs = obs_section();
@@ -194,6 +217,8 @@ fn window_slide(mut world: World, series: &SnapshotSeries, extra_time: f64) -> S
         tracked_pages: tracked.len(),
         cold,
         slide,
+        cold_align_seconds,
+        align_seconds: slide_align_seconds,
         slide_seconds,
         rank_solves,
         column_hit_rate,
@@ -246,13 +271,14 @@ fn main() {
         let (r, world, series) = run_once(cfg, threads, &snapshot_times);
         println!(
             "  {} threads: {} pages ({} common) | sim {:.2}s, snapshot {:.2}s, \
-             rank+estimate {:.2}s, total {:.2}s | fingerprint {:016x}",
+             rank+estimate {:.2}s (align {:.2}s), total {:.2}s | fingerprint {:016x}",
             r.threads,
             r.pages,
             r.common_pages,
             r.sim_seconds,
             r.snapshot_seconds,
             r.rank_estimate_seconds,
+            r.align_seconds,
             r.total_seconds,
             r.fingerprint
         );
@@ -274,12 +300,23 @@ fn main() {
     let ws = window_slide(world, &series, burn_in + 3.0);
     println!(
         "  window slide: {} columns reused, {} solved ({} rank solves) in {:.2}s \
-         | column hit rate {:.0}%",
+         | align {:.2}s (cold {:.2}s) | column hit rate {:.0}%",
         ws.slide.columns_reused(),
         ws.slide.columns_solved(),
         ws.rank_solves,
         ws.slide_seconds,
+        ws.align_seconds,
+        ws.cold_align_seconds,
         ws.column_hit_rate * 100.0
+    );
+    // restrict-cache hits make the slide's align stage skip three of the
+    // four restrictions; if its span doesn't shrink versus the cold run
+    // over the same corpus, snapshot-level alignment reuse is broken
+    assert!(
+        ws.align_seconds < ws.cold_align_seconds,
+        "window-slide align span ({:.2}s) did not shrink versus the cold run ({:.2}s)",
+        ws.align_seconds,
+        ws.cold_align_seconds
     );
     // the stage engine's reason to exist: a window slide that reuses no
     // cached columns means fingerprint-keyed invalidation is broken
@@ -316,6 +353,7 @@ fn main() {
                     .num("sim_seconds", r.sim_seconds)
                     .num("snapshot_seconds", r.snapshot_seconds)
                     .num("rank_estimate_seconds", r.rank_estimate_seconds)
+                    .num("align_seconds", r.align_seconds)
                     .num("total_seconds", r.total_seconds)
                     .str("sim_fingerprint", &format!("{:016x}", r.fingerprint))
                     .num("improvement_factor", r.improvement_factor)
@@ -332,6 +370,8 @@ fn main() {
                 .int("tracked_pages", ws.tracked_pages as u64)
                 .raw("cold", &stats_obj(&ws.cold))
                 .raw("slide", &stats_obj(&ws.slide))
+                .num("cold_align_seconds", ws.cold_align_seconds)
+                .num("align_seconds", ws.align_seconds)
                 .num("slide_seconds", ws.slide_seconds)
                 .int("rank_solves", ws.rank_solves)
                 .num("column_hit_rate", ws.column_hit_rate)

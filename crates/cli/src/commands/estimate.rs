@@ -30,6 +30,9 @@ options:
   --window W        slide a W-snapshot window through the series via one
                     stage engine, printing per-step cache stats; the
                     printed report comes from the final window (W >= 3)
+  --threads T       align-stage/solver worker threads (default:
+                    QRANK_THREADS or available parallelism; results are
+                    bitwise identical at every setting)
   --out FILE        per-page TSV: page, trend, current, estimate, future, errors
   --top K           also print the top K pages by estimated quality
 
@@ -46,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "metric",
         "min-change",
         "window",
+        "threads",
         "out",
         "top",
     ];
@@ -89,6 +93,10 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             ))
         }
     };
+    let threads: usize = p.get_or("threads", 0, USAGE)?;
+    if threads > 0 {
+        qrank_rank::set_thread_budget(threads);
+    }
     let window: usize = p.get_or("window", 0, USAGE)?;
     let report = if window > 0 {
         sliding_sweep(&series, window, &metric, estimator, min_change)?

@@ -22,6 +22,9 @@ options:
   --series FILE      binary snapshot series from `qrank simulate` (required)
   --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
   --workers N        request worker threads (default 4)
+  --threads T        stage-engine align/solver worker threads (default:
+                     QRANK_THREADS or available parallelism; output is
+                     bitwise identical at every setting)
   --cache N          topk response cache capacity (default 64)
   --deltas FILE      edge-delta file to stream through the refresh worker
   --max-window N     snapshots kept in the estimation window (default 4)
@@ -49,6 +52,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "series",
         "addr",
         "workers",
+        "threads",
         "cache",
         "deltas",
         "max-window",
@@ -78,6 +82,13 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         cache_capacity: p.get_or("cache", 64, USAGE)?,
     };
     let duration: f64 = p.get_or("duration", 0.0, USAGE)?;
+    let threads: usize = p.get_or("threads", 0, USAGE)?;
+    if threads > 0 {
+        // One budget for everything compute-bound in the refresh path:
+        // the solvers read the process-global budget, and the engine's
+        // parallel align stage follows it too.
+        qrank_rank::set_thread_budget(threads);
+    }
 
     let bytes = std::fs::read(series_path)?;
     let series = decode_series(&bytes).map_err(|e| CliError::Runtime(e.to_string()))?;

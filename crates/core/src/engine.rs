@@ -111,6 +111,9 @@ pub struct PipelineEngine {
     /// Aligned-snapshot fingerprint → that snapshot's popularity column
     /// (`scores[node]` under [`Self::metric`]).
     column_cache: HashMap<u64, Arc<Vec<f64>>>,
+    /// Worker threads for the parallel align stage; `None` follows the
+    /// process-global [`qrank_rank::thread_budget`].
+    threads: Option<usize>,
     stats: StageStats,
 }
 
@@ -122,6 +125,7 @@ impl PipelineEngine {
             tracker: AlignmentTracker::new(),
             restrict_cache: HashMap::new(),
             column_cache: HashMap::new(),
+            threads: None,
             stats: StageStats::default(),
         }
     }
@@ -129,6 +133,19 @@ impl PipelineEngine {
     /// The metric this engine's columns are computed under.
     pub fn metric(&self) -> &PopularityMetric {
         &self.metric
+    }
+
+    /// Pin the align stage to `threads` worker threads (0 restores the
+    /// process-global [`qrank_rank::thread_budget`] default). Purely a
+    /// scheduling knob: the align output is bitwise identical at every
+    /// budget.
+    pub fn set_thread_budget(&mut self, threads: usize) {
+        self.threads = (threads > 0).then_some(threads);
+    }
+
+    /// Worker threads the align stage will use.
+    pub fn thread_budget(&self) -> usize {
+        self.threads.unwrap_or_else(qrank_rank::thread_budget)
     }
 
     /// Cache traffic of the most recent [`run`](PipelineEngine::run).
@@ -161,7 +178,7 @@ impl PipelineEngine {
 
         let traj = {
             let _s = qrank_obs::span!("pipeline.stage.transpose");
-            let pages = aligned[0].pages.clone();
+            let pages = aligned[0].pages().to_vec();
             let times: Vec<f64> = aligned.iter().map(|s| s.time).collect();
             let mut values = vec![Vec::with_capacity(times.len()); pages.len()];
             for col in &columns {
@@ -210,21 +227,41 @@ impl PipelineEngine {
                 return Ok(None);
             }
             let common_fp = self.tracker.common_fingerprint();
-            let mut aligned: Vec<Arc<Snapshot>> = Vec::with_capacity(series.len());
-            for snap in series.snapshots() {
+            let common = Arc::clone(self.tracker.common_page_set());
+
+            // Partition the window into cache hits and misses, then
+            // restrict all misses in one parallel batch (each
+            // restriction is independent; `restrict_snapshots` commits
+            // results in input order, so the outcome is identical at
+            // every thread budget) and splice them back in window order.
+            let mut aligned: Vec<Option<Arc<Snapshot>>> = vec![None; series.len()];
+            let mut missed: Vec<&Snapshot> = Vec::new();
+            let mut missed_at: Vec<usize> = Vec::new();
+            for (i, snap) in series.snapshots().iter().enumerate() {
                 let key = (snap.fingerprint(), common_fp);
                 if let Some(hit) = self.restrict_cache.get(&key) {
                     self.stats.restrict_hits += 1;
                     bump("pipeline.stage.restrict.hit");
-                    aligned.push(Arc::clone(hit));
+                    aligned[i] = Some(Arc::clone(hit));
                 } else {
                     self.stats.restrict_misses += 1;
                     bump("pipeline.stage.restrict.miss");
-                    let built = Arc::new(snap.restrict_to(self.tracker.common_pages())?);
-                    self.restrict_cache.insert(key, Arc::clone(&built));
-                    aligned.push(built);
+                    missed.push(snap);
+                    missed_at.push(i);
                 }
             }
+            let built = qrank_graph::restrict_snapshots(&missed, &common, self.thread_budget())?;
+            for (i, restricted) in missed_at.into_iter().zip(built) {
+                let snap = &series.snapshots()[i];
+                let built = Arc::new(restricted);
+                self.restrict_cache
+                    .insert((snap.fingerprint(), common_fp), Arc::clone(&built));
+                aligned[i] = Some(built);
+            }
+            let aligned: Vec<Arc<Snapshot>> = aligned
+                .into_iter()
+                .map(|s| s.expect("every window slot is a hit or a committed miss"))
+                .collect();
             let used: HashSet<(u64, u64)> = series
                 .snapshots()
                 .iter()
@@ -437,6 +474,44 @@ mod tests {
         engine.run(&window(0, 4), &est, 0.05).unwrap();
         assert_eq!(engine.stats().columns_solved(), 2);
         assert_eq!(engine.stats().columns_reused(), 2);
+    }
+
+    #[test]
+    fn parallel_align_is_thread_count_independent() {
+        let est = PaperEstimator {
+            c: 0.1,
+            flat_tolerance: 0.0,
+        };
+        let series = window(0, 5);
+        let baseline = {
+            let mut engine = PipelineEngine::new(PopularityMetric::paper_pagerank());
+            engine.set_thread_budget(1);
+            assert_eq!(engine.thread_budget(), 1);
+            engine.run(&series, &est, 0.05).unwrap()
+        };
+        for threads in [2usize, 8] {
+            let mut engine = PipelineEngine::new(PopularityMetric::paper_pagerank());
+            engine.set_thread_budget(threads);
+            let report = engine.run(&series, &est, 0.05).unwrap();
+            assert_reports_equal(&baseline, &report);
+        }
+    }
+
+    #[test]
+    fn aligned_window_shares_one_page_universe() {
+        let est = PaperEstimator {
+            c: 0.1,
+            flat_tolerance: 0.0,
+        };
+        let mut engine = PipelineEngine::new(PopularityMetric::InDegree);
+        engine.run(&window(0, 4), &est, 0.05).unwrap();
+        // Every cached aligned snapshot holds the tracker's common page
+        // universe by pointer, not a private copy.
+        let common = engine.tracker.common_page_set();
+        assert_eq!(engine.restrict_cache.len(), 4);
+        for snap in engine.restrict_cache.values() {
+            assert!(Arc::ptr_eq(snap.page_set(), common));
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ pub fn compute_trajectories(
             "series is not aligned; call aligned_to_common() first".into(),
         ));
     }
-    let pages = series.snapshots()[0].pages.clone();
+    let pages = series.snapshots()[0].pages().to_vec();
     let times = series.times();
     let n = pages.len();
     let mut values = vec![Vec::with_capacity(times.len()); n];

@@ -14,9 +14,11 @@
 //! between reusing cached trajectory columns and recomputing them.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::fingerprint::pages_fingerprint;
-use crate::snapshot::{PageId, SnapshotSeries};
+use crate::snapshot::{PageId, PageSet, Snapshot, SnapshotSeries};
+use crate::GraphError;
 
 /// What [`AlignmentTracker::realign`] did and what it found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,16 +41,24 @@ pub struct Realignment {
 /// left), not O(whole window).
 ///
 /// [`realign`]: AlignmentTracker::realign
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AlignmentTracker {
     /// Fingerprint and page set of each snapshot currently counted,
-    /// oldest first.
-    window: VecDeque<(u64, Vec<PageId>)>,
+    /// oldest first. `Arc` bumps of the snapshots' own universes — the
+    /// tracker never copies a page vector.
+    window: VecDeque<(u64, Arc<PageSet>)>,
     /// How many window snapshots each page appears in.
     counts: HashMap<PageId, u32>,
-    /// Pages with `counts == window.len()`, ascending.
-    common: Vec<PageId>,
+    /// Pages with `counts == window.len()`, ascending — shared with
+    /// every snapshot aligned against this tracker.
+    common: Arc<PageSet>,
     common_fp: u64,
+}
+
+impl Default for AlignmentTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl AlignmentTracker {
@@ -57,7 +67,7 @@ impl AlignmentTracker {
         AlignmentTracker {
             window: VecDeque::new(),
             counts: HashMap::new(),
-            common: Vec::new(),
+            common: PageSet::from_sorted(Vec::new()),
             common_fp: pages_fingerprint(&[]),
         }
     }
@@ -90,11 +100,11 @@ impl AlignmentTracker {
             self.counts.clear();
         }
         for snap in &series.snapshots()[self.window.len()..] {
-            for &p in &snap.pages {
+            for &p in snap.pages() {
                 *self.counts.entry(p).or_insert(0) += 1;
             }
             self.window
-                .push_back((snap.fingerprint(), snap.pages.clone()));
+                .push_back((snap.fingerprint(), Arc::clone(snap.page_set())));
         }
         debug_assert_eq!(self.window.len(), series.len());
 
@@ -111,8 +121,10 @@ impl AlignmentTracker {
         common.sort_unstable();
         let common_fp = pages_fingerprint(&common);
         let common_changed = common_fp != self.common_fp;
-        self.common = common;
-        self.common_fp = common_fp;
+        if common_changed {
+            self.common = PageSet::from_sorted(common);
+            self.common_fp = common_fp;
+        }
         Realignment {
             incremental,
             common_changed,
@@ -120,8 +132,8 @@ impl AlignmentTracker {
     }
 
     /// Remove one departed snapshot's pages from the presence counts.
-    fn uncount(&mut self, pages: Vec<PageId>) {
-        for p in pages {
+    fn uncount(&mut self, pages: Arc<PageSet>) {
+        for &p in pages.ids() {
             match self.counts.get_mut(&p) {
                 Some(c) if *c > 1 => *c -= 1,
                 _ => {
@@ -152,6 +164,16 @@ impl AlignmentTracker {
     /// Pages present in every snapshot of the last realigned window,
     /// ascending by id.
     pub fn common_pages(&self) -> &[PageId] {
+        self.common.ids()
+    }
+
+    /// The common page universe as a shareable set. Snapshots restricted
+    /// against it ([`Snapshot::restrict_to_set`]) hold an `Arc` of this
+    /// set rather than their own page vector, so a window of W aligned
+    /// snapshots stores one page universe. The `Arc` is only replaced
+    /// when the common set actually changes, so unchanged realignments
+    /// keep previously aligned snapshots pointer-equal too.
+    pub fn common_page_set(&self) -> &Arc<PageSet> {
         &self.common
     }
 
@@ -166,6 +188,56 @@ impl AlignmentTracker {
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
+}
+
+/// Restrict each snapshot in `snaps` to the shared universe `keep`,
+/// using up to `threads` scoped worker threads.
+///
+/// Each restriction is a pure function of its input snapshot, so the
+/// work parallelizes without coordination: the input is split into
+/// contiguous chunks, each worker fills a disjoint slice of the output,
+/// and results land in input order. Output is therefore **bitwise
+/// thread-count-independent** — budgets 1, 2, and 8 produce identical
+/// snapshots with identical fingerprints.
+///
+/// Errors (an unknown page in some snapshot) are reported for the
+/// earliest failing snapshot, again independent of thread count.
+pub fn restrict_snapshots<S: std::borrow::Borrow<Snapshot> + Sync>(
+    snaps: &[S],
+    keep: &Arc<PageSet>,
+    threads: usize,
+) -> Result<Vec<Snapshot>, GraphError> {
+    let threads = threads.clamp(1, snaps.len().max(1));
+    if threads <= 1 || snaps.len() <= 1 {
+        if qrank_obs::enabled() && !snaps.is_empty() {
+            qrank_obs::global().counter("align.parallel_chunks").inc();
+        }
+        return snaps
+            .iter()
+            .map(|s| s.borrow().restrict_to_set(keep))
+            .collect();
+    }
+    let chunk = snaps.len().div_ceil(threads);
+    let mut slots: Vec<Option<Result<Snapshot, GraphError>>> = Vec::new();
+    slots.resize_with(snaps.len(), || None);
+    std::thread::scope(|scope| {
+        for (out, work) in slots.chunks_mut(chunk).zip(snaps.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, snap) in out.iter_mut().zip(work) {
+                    *slot = Some(snap.borrow().restrict_to_set(keep));
+                }
+            });
+        }
+    });
+    if qrank_obs::enabled() {
+        qrank_obs::global()
+            .counter("align.parallel_chunks")
+            .add(snaps.len().div_ceil(chunk) as u64);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -193,26 +193,125 @@ impl CsrGraph {
     /// relabeled densely in the order of the sorted `keep` list. This is
     /// the operation the paper applies when restricting each crawl to the
     /// 2.7M pages common to all four snapshots.
+    ///
+    /// This defensive entry point sanitizes `keep`; callers that already
+    /// hold a sorted, deduplicated, in-range list (the snapshot crawler,
+    /// [`crate::DynamicGraph::snapshot_at`]) should use
+    /// [`Self::induced_subgraph_sorted`] and skip the copy.
     pub fn induced_subgraph(&self, keep: &[NodeId]) -> (CsrGraph, Vec<NodeId>) {
         let mut keep: Vec<NodeId> = keep.to_vec();
         keep.sort_unstable();
         keep.dedup();
         keep.retain(|&u| (u as usize) < self.num_nodes());
+        let sub = self.induced_subgraph_sorted(&keep);
+        (sub, keep)
+    }
+
+    /// [`Self::induced_subgraph`] for a `keep` list that is already
+    /// sorted ascending, deduplicated, and in range. Debug builds assert
+    /// the precondition; release builds trust the caller (the capture
+    /// hot path — the crawler and the dynamic graph — constructs such
+    /// lists by iterating node ids in order).
+    pub fn induced_subgraph_sorted(&self, keep: &[NodeId]) -> CsrGraph {
+        debug_assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be sorted+dedup"
+        );
+        debug_assert!(keep.last().is_none_or(|&u| (u as usize) < self.num_nodes()));
         let mut old_to_new: Vec<NodeId> = vec![NodeId::MAX; self.num_nodes()];
         for (new, &old) in keep.iter().enumerate() {
             old_to_new[old as usize] = new as NodeId;
         }
-        let mut edges = Vec::new();
-        for (new_u, &old_u) in keep.iter().enumerate() {
+        self.restrict_relabel(&old_to_new, keep.len())
+    }
+
+    /// Fused restrict + relabel: the subgraph induced on the nodes with
+    /// `old_to_new[old] != NodeId::MAX`, relabeled so old node `u` becomes
+    /// `old_to_new[u]`. `old_to_new` must map the surviving nodes
+    /// bijectively onto `0..new_n` (debug-asserted).
+    ///
+    /// This is the alignment hot path: it emits the output CSR directly —
+    /// one counting pass over the surviving adjacency, one fill pass, a
+    /// per-node sort of the (short) remapped neighbor lists — with no
+    /// intermediate edge vector, no hashing, and no second relabel pass.
+    /// The result is identical to composing [`Self::induced_subgraph`]
+    /// with [`Self::relabel`], which the property suite proves
+    /// edge-for-edge on arbitrary graphs and keep sets.
+    pub fn restrict_relabel(&self, old_to_new: &[NodeId], new_n: usize) -> CsrGraph {
+        let n = self.num_nodes();
+        debug_assert_eq!(old_to_new.len(), n, "old_to_new must cover every node");
+        // new id -> old id, for iterating survivors in output order.
+        let mut old_of_new: Vec<NodeId> = vec![NodeId::MAX; new_n];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            if new != NodeId::MAX {
+                debug_assert!((new as usize) < new_n, "old_to_new out of range");
+                debug_assert_eq!(old_of_new[new as usize], NodeId::MAX, "not injective");
+                old_of_new[new as usize] = old as NodeId;
+            }
+        }
+        debug_assert!(
+            old_of_new.iter().all(|&o| o != NodeId::MAX),
+            "old_to_new must be onto 0..new_n"
+        );
+
+        // Counting pass: surviving out-degree per new node.
+        let mut out_offsets = vec![0usize; new_n + 1];
+        for (new_u, &old_u) in old_of_new.iter().enumerate() {
+            let survivors = self
+                .out_neighbors(old_u)
+                .iter()
+                .filter(|&&v| old_to_new[v as usize] != NodeId::MAX)
+                .count();
+            out_offsets[new_u + 1] = survivors;
+        }
+        for i in 0..new_n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+
+        // Fill pass: remap each surviving neighbor list and sort it in
+        // place (the remap is not monotone when the new order differs
+        // from the old, so per-list sorting restores the CSR invariant).
+        let mut out_targets: Vec<NodeId> = vec![0; out_offsets[new_n]];
+        let mut in_degree = vec![0usize; new_n];
+        for (new_u, &old_u) in old_of_new.iter().enumerate() {
+            let start = out_offsets[new_u];
+            let mut cursor = start;
             for &old_v in self.out_neighbors(old_u) {
                 let new_v = old_to_new[old_v as usize];
                 if new_v != NodeId::MAX {
-                    edges.push((new_u as NodeId, new_v));
+                    out_targets[cursor] = new_v;
+                    cursor += 1;
                 }
             }
+            let list = &mut out_targets[start..cursor];
+            list.sort_unstable();
+            for &v in list.iter() {
+                in_degree[v as usize] += 1;
+            }
         }
-        // Edges inherit sortedness from iteration order.
-        (CsrGraph::from_sorted_dedup_edges(keep.len(), &edges), keep)
+
+        // Transposed arrays: iterating new sources ascending fills each
+        // in-list already sorted, exactly as `from_sorted_dedup_edges`
+        // would have.
+        let mut in_offsets = vec![0usize; new_n + 1];
+        for v in 0..new_n {
+            in_offsets[v + 1] = in_offsets[v] + in_degree[v];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; out_targets.len()];
+        for u in 0..new_n {
+            for &v in &out_targets[out_offsets[u]..out_offsets[u + 1]] {
+                let c = &mut cursor[v as usize];
+                in_sources[*c] = u as NodeId;
+                *c += 1;
+            }
+        }
+        CsrGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 
     /// Relabel nodes by `perm`, where `perm[old] = new`. `perm` must be a
@@ -376,6 +475,61 @@ mod tests {
         assert!(g.relabel(&[0, 0, 1, 2]).is_err());
         assert!(g.relabel(&[0, 1, 2]).is_err());
         assert!(g.relabel(&[0, 1, 2, 9]).is_err());
+    }
+
+    #[test]
+    fn restrict_relabel_matches_induced_plus_relabel() {
+        let g = diamond();
+        // keep 3, 0, 1 in *that* order: old 3 -> new 0, old 0 -> new 1,
+        // old 1 -> new 2 (an order the sorted induced_subgraph cannot
+        // produce without a relabel pass).
+        let mut old_to_new = vec![NodeId::MAX; 4];
+        old_to_new[3] = 0;
+        old_to_new[0] = 1;
+        old_to_new[1] = 2;
+        let fused = g.restrict_relabel(&old_to_new, 3);
+        let (sub, sorted_old) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sorted_old, vec![0, 1, 3]);
+        // permutation taking sorted order [0,1,3] to desired [3,0,1]
+        let perm: Vec<NodeId> = vec![1, 2, 0];
+        let reference = sub.relabel(&perm).unwrap();
+        assert_eq!(fused, reference);
+        // surviving edges: 0->1 (new 1->2), 1->3 (new 2->0), 3->0 (new 0->1)
+        assert_eq!(
+            fused.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 0)]
+        );
+    }
+
+    #[test]
+    fn restrict_relabel_empty_and_full() {
+        let g = diamond();
+        let empty = g.restrict_relabel(&[NodeId::MAX; 4], 0);
+        assert!(empty.is_empty());
+        let id: Vec<NodeId> = (0..4).collect();
+        assert_eq!(g.restrict_relabel(&id, 4), g);
+    }
+
+    #[test]
+    fn induced_subgraph_sorted_matches_defensive_path() {
+        let g = diamond();
+        let keep = [0u32, 2, 3];
+        let fast = g.induced_subgraph_sorted(&keep);
+        let (slow, map) = g.induced_subgraph(&keep);
+        assert_eq!(fast, slow);
+        assert_eq!(map, keep);
+    }
+
+    #[test]
+    fn restrict_relabel_keeps_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (0, 1), (1, 2)]);
+        let mut old_to_new = vec![NodeId::MAX; 3];
+        old_to_new[0] = 1;
+        old_to_new[1] = 0;
+        let r = g.restrict_relabel(&old_to_new, 2);
+        assert!(r.has_edge(1, 1), "self-loop survives under relabel");
+        assert!(r.has_edge(1, 0));
+        assert_eq!(r.num_edges(), 2);
     }
 
     #[test]

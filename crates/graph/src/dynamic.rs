@@ -171,8 +171,11 @@ impl DynamicGraph {
     /// `t`. Returns the relabeled graph plus `new id -> original id`.
     pub fn snapshot_at(&self, t: f64) -> (CsrGraph, Vec<NodeId>) {
         let full = self.graph_at_full(t);
+        // `nodes_at` yields ascending unique ids, so the fused
+        // restriction can skip the defensive sanitize pass.
         let alive = self.nodes_at(t);
-        full.induced_subgraph(&alive)
+        let sub = full.induced_subgraph_sorted(&alive);
+        (sub, alive)
     }
 }
 

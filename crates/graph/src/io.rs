@@ -168,8 +168,8 @@ pub fn encode_series(series: &SnapshotSeries) -> Bytes {
     buf.put_u32_le(series.len() as u32);
     for s in series.snapshots() {
         buf.put_f64_le(s.time);
-        buf.put_u64_le(s.pages.len() as u64);
-        for p in &s.pages {
+        buf.put_u64_le(s.pages().len() as u64);
+        for p in s.pages() {
             buf.put_u64_le(p.0);
         }
         buf.put(encode_graph(&s.graph));
@@ -329,7 +329,7 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back.times(), vec![0.0, 1.5]);
         assert_eq!(back.snapshots()[1].graph, series.snapshots()[1].graph);
-        assert_eq!(back.snapshots()[0].pages, series.snapshots()[0].pages);
+        assert_eq!(back.snapshots()[0].pages(), series.snapshots()[0].pages());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 
-pub use align::{AlignmentTracker, Realignment};
+pub use align::{restrict_snapshots, AlignmentTracker, Realignment};
 pub use bowtie::{BowTie, BowTieRegion};
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
@@ -74,7 +74,7 @@ pub use dynamic::{DynamicGraph, EdgeEvent};
 pub use error::GraphError;
 pub use fingerprint::{pages_fingerprint, Fingerprinter};
 pub use relabel::{degree_order, Relabeling};
-pub use snapshot::{PageId, Snapshot, SnapshotSeries};
+pub use snapshot::{PageId, PageSet, Snapshot, SnapshotSeries};
 
 /// Node identifier within a single [`CsrGraph`].
 ///

@@ -7,8 +7,15 @@
 //! each node; a [`SnapshotSeries`] aligns several snapshots onto a shared
 //! node numbering so per-page time series (PageRank trajectories) are a
 //! simple array lookup.
+//!
+//! Page identities live in an [`Arc`]-shared [`PageSet`]: aligning a
+//! window of W snapshots to a common page universe stores **one** page
+//! vector and **one** lookup index for the whole window, not W clones of
+//! each. The set is also hash-free — lookups binary-search the sorted
+//! ids (or a sorted view of them), so the alignment hot path never
+//! constructs a `HashMap` (a CI grep guard keeps it that way).
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -26,16 +33,127 @@ impl std::fmt::Display for PageId {
     }
 }
 
+/// An immutable, shareable page universe: `ids[node]` is the external
+/// identity of `node`, plus a lookup structure for the reverse mapping.
+///
+/// Always handled as `Arc<PageSet>` so every snapshot aligned to the
+/// same universe — and the [`crate::AlignmentTracker`] window — shares
+/// one allocation. Lookups never hash: when the ids are sorted ascending
+/// (the common case — crawler captures and common-page intersections are
+/// sorted by construction) [`node_of`](PageSet::node_of) is a direct
+/// binary search; otherwise a sorted permutation built once at
+/// construction is searched instead.
+#[derive(Debug, Clone)]
+pub struct PageSet {
+    ids: Vec<PageId>,
+    /// Node ids permuted so `ids[order[k]]` ascends; `None` when `ids`
+    /// itself is sorted ascending.
+    order: Option<Vec<NodeId>>,
+}
+
+impl PartialEq for PageSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids
+    }
+}
+
+impl Eq for PageSet {}
+
+impl PageSet {
+    /// Build a page set, validating that every id is unique. Accepts any
+    /// order; the sorted-input fast path skips building the permutation.
+    pub fn new(ids: Vec<PageId>) -> Result<Arc<PageSet>, GraphError> {
+        let _span = qrank_obs::span!("align.index");
+        if ids.windows(2).all(|w| w[0] < w[1]) {
+            return Ok(Arc::new(PageSet { ids, order: None }));
+        }
+        let mut order: Vec<NodeId> = (0..ids.len() as NodeId).collect();
+        order.sort_unstable_by_key(|&n| ids[n as usize]);
+        for w in order.windows(2) {
+            if ids[w[0] as usize] == ids[w[1] as usize] {
+                return Err(GraphError::MisalignedSnapshots(format!(
+                    "duplicate page id {} in snapshot",
+                    ids[w[0] as usize]
+                )));
+            }
+        }
+        Ok(Arc::new(PageSet {
+            ids,
+            order: Some(order),
+        }))
+    }
+
+    /// Trusted constructor for ids already sorted strictly ascending
+    /// (sortedness implies uniqueness). Debug builds assert the
+    /// precondition; release builds trust the caller. This is the
+    /// alignment path: common-page intersections and crawler captures
+    /// are sorted by construction.
+    pub fn from_sorted(ids: Vec<PageId>) -> Arc<PageSet> {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be sorted strictly ascending"
+        );
+        Arc::new(PageSet { ids, order: None })
+    }
+
+    /// The ids in node order (`ids()[node]` identifies `node`).
+    pub fn ids(&self) -> &[PageId] {
+        &self.ids
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Node labeled `page`, if present. O(log n) binary search; no
+    /// hashing.
+    pub fn node_of(&self, page: PageId) -> Option<NodeId> {
+        match &self.order {
+            None => self.ids.binary_search(&page).ok().map(|i| i as NodeId),
+            Some(order) => order
+                .binary_search_by(|&n| self.ids[n as usize].cmp(&page))
+                .ok()
+                .map(|k| order[k]),
+        }
+    }
+
+    /// True if `page` is in the set.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.node_of(page).is_some()
+    }
+
+    /// The ids in ascending order (a cheap copy of `ids` when already
+    /// sorted; the stored permutation applied otherwise).
+    pub fn sorted_ids(&self) -> Vec<PageId> {
+        match &self.order {
+            None => self.ids.clone(),
+            Some(order) => order.iter().map(|&n| self.ids[n as usize]).collect(),
+        }
+    }
+}
+
+impl std::ops::Deref for PageSet {
+    type Target = [PageId];
+
+    fn deref(&self) -> &[PageId] {
+        &self.ids
+    }
+}
+
 /// The link structure of a page corpus captured at one instant.
 ///
-/// Construction builds two derived artifacts exactly once: a
-/// `PageId -> NodeId` hash index (shared by every lookup, see
-/// [`Snapshot::page_index`]) and a 64-bit structural
+/// Construction builds two derived artifacts exactly once: the shared
+/// [`PageSet`] (reverse lookup without hashing, see
+/// [`Snapshot::page_set`]) and a 64-bit structural
 /// [`fingerprint`](Snapshot::fingerprint) over the CSR arrays, the page
 /// ids, and the capture time. The incremental pipeline engine keys its
-/// cached stage artifacts by that fingerprint. The public fields are for
-/// reading; mutating them directly would desynchronize the cached index
-/// and fingerprint.
+/// cached stage artifacts by that fingerprint.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Capture time (same unit as the simulator clock; months in the
@@ -43,19 +161,25 @@ pub struct Snapshot {
     pub time: f64,
     /// Link graph among the captured pages.
     pub graph: CsrGraph,
-    /// `pages[node]` = external identity of `node`. Length equals
-    /// `graph.num_nodes()`.
-    pub pages: Vec<PageId>,
-    index: HashMap<PageId, NodeId>,
+    pages: Arc<PageSet>,
     fingerprint: u64,
 }
 
 impl Snapshot {
     /// Construct, validating that `pages` labels every node exactly once.
-    ///
-    /// The duplicate check is a single hash-map pass that doubles as the
-    /// construction of the page index, so validation costs nothing extra.
     pub fn new(time: f64, graph: CsrGraph, pages: Vec<PageId>) -> Result<Self, GraphError> {
+        Snapshot::from_page_set(time, graph, PageSet::new(pages)?)
+    }
+
+    /// Construct around an existing (already-validated) page universe —
+    /// the trusted path used by alignment and the snapshot crawler. The
+    /// set is shared by reference: restricting W snapshots to one common
+    /// universe stores one page vector, not W.
+    pub fn from_page_set(
+        time: f64,
+        graph: CsrGraph,
+        pages: Arc<PageSet>,
+    ) -> Result<Self, GraphError> {
         if pages.len() != graph.num_nodes() {
             return Err(GraphError::MisalignedSnapshots(format!(
                 "{} page ids for {} nodes",
@@ -63,23 +187,15 @@ impl Snapshot {
                 graph.num_nodes()
             )));
         }
-        let mut index = HashMap::with_capacity(pages.len());
-        for (i, &p) in pages.iter().enumerate() {
-            if index.insert(p, i as NodeId).is_some() {
-                return Err(GraphError::MisalignedSnapshots(format!(
-                    "duplicate page id {p} in snapshot"
-                )));
-            }
-        }
+        let _span = qrank_obs::span!("align.fingerprint");
         let mut h = crate::fingerprint::Fingerprinter::new();
         h.word(time.to_bits());
         graph.fold_structure(&mut h);
-        h.words(pages.iter().map(|p| p.0));
+        h.words(pages.ids().iter().map(|p| p.0));
         Ok(Snapshot {
             time,
             graph,
             pages,
-            index,
             fingerprint: h.finish(),
         })
     }
@@ -87,6 +203,18 @@ impl Snapshot {
     /// Number of pages captured.
     pub fn num_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// `pages()[node]` = external identity of `node`. Length equals
+    /// `graph.num_nodes()`.
+    pub fn pages(&self) -> &[PageId] {
+        self.pages.ids()
+    }
+
+    /// The shared page universe. Snapshots aligned to the same common
+    /// set return the same `Arc` (pointer-equal).
+    pub fn page_set(&self) -> &Arc<PageSet> {
+        &self.pages
     }
 
     /// Structural content fingerprint: 64-bit FNV-1a over the capture
@@ -97,42 +225,35 @@ impl Snapshot {
         self.fingerprint
     }
 
-    /// Node id of `page`, if captured. O(1) via the index built at
-    /// construction.
+    /// Node id of `page`, if captured. O(log n) via the shared page set;
+    /// no hashing.
     pub fn node_of(&self, page: PageId) -> Option<NodeId> {
-        self.index.get(&page).copied()
-    }
-
-    /// The `PageId -> NodeId` index, built once at construction.
-    pub fn page_index(&self) -> &HashMap<PageId, NodeId> {
-        &self.index
+        self.pages.node_of(page)
     }
 
     /// Restrict this snapshot to `keep` (any order; unknown or duplicate
     /// pages are an error), relabeling nodes so that node `i` is
     /// `keep[i]`.
     pub fn restrict_to(&self, keep: &[PageId]) -> Result<Snapshot, GraphError> {
-        let mut old_nodes = Vec::with_capacity(keep.len());
-        for &p in keep {
-            match self.index.get(&p) {
-                Some(&n) => old_nodes.push(n),
-                None => return Err(GraphError::UnknownPage(p.0)),
+        self.restrict_to_set(&PageSet::new(keep.to_vec())?)
+    }
+
+    /// [`Snapshot::restrict_to`] against a shared page universe: the
+    /// restricted snapshot holds an `Arc` of `keep` rather than its own
+    /// copy, and the restriction is a single fused pass
+    /// ([`CsrGraph::restrict_relabel`]) — no intermediate edge list, no
+    /// second relabel pass, no hashing.
+    pub fn restrict_to_set(&self, keep: &Arc<PageSet>) -> Result<Snapshot, GraphError> {
+        let graph = {
+            let _span = qrank_obs::span!("align.restrict");
+            let mut old_to_new = vec![NodeId::MAX; self.graph.num_nodes()];
+            for (new, &p) in keep.ids().iter().enumerate() {
+                let old = self.node_of(p).ok_or(GraphError::UnknownPage(p.0))?;
+                old_to_new[old as usize] = new as NodeId;
             }
-        }
-        // induced_subgraph relabels in sorted-old-node order; compose with
-        // the permutation taking that order to `keep` order.
-        let (sub, sorted_old) = self.graph.induced_subgraph(&old_nodes);
-        let mut pos_of_old: HashMap<NodeId, NodeId> = HashMap::with_capacity(sorted_old.len());
-        for (i, &o) in sorted_old.iter().enumerate() {
-            pos_of_old.insert(o, i as NodeId);
-        }
-        // perm[current] = desired
-        let mut perm = vec![0 as NodeId; keep.len()];
-        for (want, &old) in old_nodes.iter().enumerate() {
-            perm[pos_of_old[&old] as usize] = want as NodeId;
-        }
-        let graph = sub.relabel(&perm)?;
-        Snapshot::new(self.time, graph, keep.to_vec())
+            self.graph.restrict_relabel(&old_to_new, keep.len())
+        };
+        Snapshot::from_page_set(self.time, graph, Arc::clone(keep))
     }
 }
 
@@ -186,8 +307,7 @@ impl SnapshotSeries {
             Snapshot {
                 time: f64::NEG_INFINITY,
                 graph: crate::GraphBuilder::with_nodes(0).build(),
-                pages: Vec::new(),
-                index: HashMap::new(),
+                pages: PageSet::from_sorted(Vec::new()),
                 fingerprint: 0,
             },
         );
@@ -216,47 +336,79 @@ impl SnapshotSeries {
 
     /// Pages present in *every* snapshot, ascending by id — the paper's
     /// "2.7 million pages were common in all four snapshots" step.
+    ///
+    /// Computed by merging the sorted views of each snapshot's
+    /// [`PageSet`] — O(total pages) with no hashing. Sliding-window
+    /// consumers that re-intersect on every refresh should maintain a
+    /// [`crate::AlignmentTracker`] instead and use
+    /// [`aligned_with`](SnapshotSeries::aligned_with).
     pub fn common_pages(&self) -> Vec<PageId> {
         let live = self.snapshots();
         let Some(first) = live.first() else {
             return Vec::new();
         };
-        // Each snapshot lists a page at most once (enforced by
-        // `Snapshot::new`), so "present in all" is "seen len() times".
-        let mut counts: HashMap<PageId, u32> = first.pages.iter().map(|&p| (p, 1)).collect();
+        let mut common = first.page_set().sorted_ids();
         for s in &live[1..] {
-            for &p in &s.pages {
-                if let Some(c) = counts.get_mut(&p) {
-                    *c += 1;
+            if common.is_empty() {
+                break;
+            }
+            let other = s.page_set().sorted_ids();
+            let (mut i, mut j, mut k) = (0, 0, 0);
+            while i < common.len() && j < other.len() {
+                match common[i].cmp(&other[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        common[k] = common[i];
+                        k += 1;
+                        i += 1;
+                        j += 1;
+                    }
                 }
             }
+            common.truncate(k);
         }
-        let full = live.len() as u32;
-        let mut common: Vec<PageId> = counts
-            .into_iter()
-            .filter(|&(_, c)| c == full)
-            .map(|(p, _)| p)
-            .collect();
-        common.sort_unstable();
         common
     }
 
     /// Restrict every snapshot to the common page set, producing an
-    /// *aligned* series: node `i` is the same page in every snapshot.
+    /// *aligned* series: node `i` is the same page in every snapshot,
+    /// and every aligned snapshot shares one `Arc`'d page universe.
     pub fn aligned_to_common(&self) -> Result<SnapshotSeries, GraphError> {
-        let common = self.common_pages();
+        self.aligned_to(&PageSet::from_sorted(self.common_pages()))
+    }
+
+    /// Restrict every snapshot to `keep` — the shared implementation
+    /// under [`aligned_to_common`](SnapshotSeries::aligned_to_common)
+    /// and [`aligned_with`](SnapshotSeries::aligned_with).
+    pub fn aligned_to(&self, keep: &Arc<PageSet>) -> Result<SnapshotSeries, GraphError> {
         let mut out = SnapshotSeries::new();
         for s in self.snapshots() {
-            out.push(s.restrict_to(&common)?)?;
+            out.push(s.restrict_to_set(keep)?)?;
         }
         Ok(out)
     }
 
-    /// Check that all snapshots share an identical `pages` vector.
+    /// Align via an [`crate::AlignmentTracker`]: the tracker reconciles
+    /// its incremental per-page presence counts with this window (no
+    /// from-scratch intersection when the windows overlap) and the
+    /// aligned snapshots share the tracker's common page universe.
+    pub fn aligned_with(
+        &self,
+        tracker: &mut crate::AlignmentTracker,
+    ) -> Result<SnapshotSeries, GraphError> {
+        tracker.realign(self);
+        let keep = Arc::clone(tracker.common_page_set());
+        self.aligned_to(&keep)
+    }
+
+    /// Check that all snapshots share an identical page labeling.
     pub fn is_aligned(&self) -> bool {
         match self.snapshots().split_first() {
             None => true,
-            Some((first, rest)) => rest.iter().all(|s| s.pages == first.pages),
+            Some((first, rest)) => rest
+                .iter()
+                .all(|s| Arc::ptr_eq(s.page_set(), first.page_set()) || s.pages() == first.pages()),
         }
     }
 
@@ -286,12 +438,24 @@ mod tests {
     }
 
     #[test]
+    fn page_set_detects_duplicates_in_any_order() {
+        assert!(PageSet::new(vec![PageId(3), PageId(1), PageId(3)]).is_err());
+        assert!(PageSet::new(vec![PageId(1), PageId(1)]).is_err());
+        let unsorted = PageSet::new(vec![PageId(9), PageId(2), PageId(5)]).unwrap();
+        assert_eq!(unsorted.node_of(PageId(9)), Some(0));
+        assert_eq!(unsorted.node_of(PageId(2)), Some(1));
+        assert_eq!(unsorted.node_of(PageId(5)), Some(2));
+        assert_eq!(unsorted.node_of(PageId(4)), None);
+        assert_eq!(unsorted.sorted_ids(), vec![PageId(2), PageId(5), PageId(9)]);
+    }
+
+    #[test]
     fn node_lookup() {
         let s = snap(0.0, &[(0, 1)], &[10, 20, 30]);
         assert_eq!(s.node_of(PageId(20)), Some(1));
         assert_eq!(s.node_of(PageId(99)), None);
-        let idx = s.page_index();
-        assert_eq!(idx[&PageId(30)], 2);
+        assert_eq!(s.page_set().node_of(PageId(30)), Some(2));
+        assert!(s.page_set().contains(PageId(10)));
     }
 
     #[test]
@@ -299,7 +463,7 @@ mod tests {
         // pages 10,20,30 with edges 10->20, 20->30, 30->10
         let s = snap(0.0, &[(0, 1), (1, 2), (2, 0)], &[10, 20, 30]);
         let r = s.restrict_to(&[PageId(30), PageId(10)]).unwrap();
-        assert_eq!(r.pages, vec![PageId(30), PageId(10)]);
+        assert_eq!(r.pages(), &[PageId(30), PageId(10)]);
         // surviving edge 30->10 becomes node 0 -> node 1
         assert_eq!(r.graph.edges().collect::<Vec<_>>(), vec![(0, 1)]);
     }
@@ -314,11 +478,30 @@ mod tests {
     }
 
     #[test]
+    fn restrict_to_set_shares_the_universe() {
+        let s0 = snap(0.0, &[(0, 1)], &[1, 2, 3]);
+        let s1 = snap(1.0, &[(1, 0)], &[2, 3, 4]);
+        let keep = PageSet::from_sorted(vec![PageId(2), PageId(3)]);
+        let r0 = s0.restrict_to_set(&keep).unwrap();
+        let r1 = s1.restrict_to_set(&keep).unwrap();
+        assert!(Arc::ptr_eq(r0.page_set(), &keep));
+        assert!(Arc::ptr_eq(r0.page_set(), r1.page_set()));
+    }
+
+    #[test]
     fn common_pages_intersects_all() {
         let mut series = SnapshotSeries::new();
         series.push(snap(0.0, &[], &[1, 2, 3, 4])).unwrap();
         series.push(snap(1.0, &[], &[2, 3, 4, 5])).unwrap();
         series.push(snap(2.0, &[], &[3, 4, 5, 6])).unwrap();
+        assert_eq!(series.common_pages(), vec![PageId(3), PageId(4)]);
+    }
+
+    #[test]
+    fn common_pages_handles_unsorted_labelings() {
+        let mut series = SnapshotSeries::new();
+        series.push(snap(0.0, &[], &[4, 1, 3])).unwrap();
+        series.push(snap(1.0, &[], &[3, 9, 4])).unwrap();
         assert_eq!(series.common_pages(), vec![PageId(3), PageId(4)]);
     }
 
@@ -341,12 +524,38 @@ mod tests {
         series.push(snap(1.0, &[(0, 1)], &[2, 3, 4])).unwrap();
         let aligned = series.aligned_to_common().unwrap();
         assert!(aligned.is_aligned());
-        let common = aligned.snapshots()[0].pages.clone();
+        let common = aligned.snapshots()[0].pages().to_vec();
         assert_eq!(common, vec![PageId(2), PageId(3)]);
         // snapshot 0 keeps edge 2->3 as 0->1; so does snapshot 1
         for s in aligned.snapshots() {
             assert_eq!(s.graph.edges().collect::<Vec<_>>(), vec![(0, 1)]);
         }
+        // one page universe for the whole aligned window
+        let first = aligned.snapshots()[0].page_set();
+        for s in aligned.snapshots() {
+            assert!(Arc::ptr_eq(s.page_set(), first));
+        }
+    }
+
+    #[test]
+    fn aligned_with_tracker_matches_aligned_to_common() {
+        let mut series = SnapshotSeries::new();
+        series.push(snap(0.0, &[(0, 1)], &[1, 2, 3])).unwrap();
+        series.push(snap(1.0, &[(1, 0)], &[2, 3, 4])).unwrap();
+        let mut tracker = crate::AlignmentTracker::new();
+        let via_tracker = series.aligned_with(&mut tracker).unwrap();
+        let direct = series.aligned_to_common().unwrap();
+        assert_eq!(via_tracker.len(), direct.len());
+        for (a, b) in via_tracker.snapshots().iter().zip(direct.snapshots()) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(a.pages(), b.pages());
+            assert_eq!(a.graph, b.graph);
+        }
+        // the aligned snapshots borrow the tracker's universe
+        assert!(Arc::ptr_eq(
+            via_tracker.snapshots()[0].page_set(),
+            tracker.common_page_set()
+        ));
     }
 
     #[test]
@@ -365,7 +574,7 @@ mod tests {
         }
         let popped = series.pop_front().unwrap();
         assert_eq!(popped.time, 0.0);
-        assert_eq!(popped.pages, vec![PageId(0)]);
+        assert_eq!(popped.pages(), &[PageId(0)]);
         assert_eq!(series.len(), 5);
         assert_eq!(series.snapshots()[0].time, 1.0);
         assert_eq!(series.times(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
@@ -373,7 +582,7 @@ mod tests {
         for t in 6..30u64 {
             series.push(snap(t as f64, &[], &[t])).unwrap();
             let p = series.pop_front().unwrap();
-            assert_eq!(p.pages, vec![PageId(t - 5)]);
+            assert_eq!(p.pages(), &[PageId(t - 5)]);
             assert_eq!(series.len(), 5);
             assert_eq!(series.snapshots().len(), 5);
         }

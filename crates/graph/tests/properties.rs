@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use qrank_graph::io::{decode_graph, decode_series, encode_graph, encode_series};
+use qrank_graph::relabel::Relabeling;
 use qrank_graph::scc::tarjan_scc;
 use qrank_graph::traversal::{bfs, weakly_connected_components};
-use qrank_graph::{CsrGraph, NodeId, PageId, Snapshot, SnapshotSeries};
+use qrank_graph::{CsrGraph, NodeId, PageId, PageSet, Snapshot, SnapshotSeries};
 
 fn arbitrary_edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..max_nodes, 0..max_nodes), 0..max_edges)
@@ -128,7 +129,7 @@ proptest! {
         prop_assert_eq!(back.len(), series.len());
         for (a, b) in series.snapshots().iter().zip(back.snapshots()) {
             prop_assert_eq!(a.time, b.time);
-            prop_assert_eq!(&a.pages, &b.pages);
+            prop_assert_eq!(a.pages(), b.pages());
             prop_assert_eq!(&a.graph, &b.graph);
             prop_assert_eq!(a.fingerprint(), b.fingerprint());
         }
@@ -157,6 +158,134 @@ proptest! {
         for u in 0..20u32 {
             prop_assert_eq!(g.out_degree(u), t.in_degree(u));
             prop_assert_eq!(g.in_degree(u), t.out_degree(u));
+        }
+    }
+
+    /// The fused single-pass restriction (`restrict_relabel`) is
+    /// edge-for-edge identical to the reference two-pass path
+    /// (`induced_subgraph` of the sorted keep set, then `relabeled` into
+    /// keep order) on arbitrary graphs, keep sets, and keep *orders*.
+    #[test]
+    fn fused_restriction_matches_two_pass_reference(
+        edges in arbitrary_edges(24, 120),
+        keep_sel in prop::collection::vec(0u8..2, 24..25),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let g = CsrGraph::from_edges(24, &edges);
+        let sorted_keep: Vec<NodeId> =
+            (0..24u32).filter(|&u| keep_sel[u as usize] == 1).collect();
+        // An arbitrary keep order: restriction must honor any labeling.
+        let mut keep = sorted_keep.clone();
+        let mut s = shuffle_seed;
+        for i in (1..keep.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keep.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        // Reference: induced subgraph in sorted order, then a full
+        // relabel pass mapping sorted position -> keep position.
+        let sub_sorted = g.induced_subgraph_sorted(&sorted_keep);
+        let mut perm = vec![0 as NodeId; keep.len()];
+        for (pos, &u) in keep.iter().enumerate() {
+            perm[sorted_keep.binary_search(&u).unwrap()] = pos as NodeId;
+        }
+        let reference = sub_sorted.relabeled(&Relabeling { perm });
+
+        // Fused: one counting pass + one fill pass.
+        let mut old_to_new = vec![NodeId::MAX; g.num_nodes()];
+        for (new, &old) in keep.iter().enumerate() {
+            old_to_new[old as usize] = new as NodeId;
+        }
+        let fused = g.restrict_relabel(&old_to_new, keep.len());
+        prop_assert_eq!(fused, reference);
+    }
+
+    /// `Snapshot::restrict_to` through the fused path produces the same
+    /// snapshot (graph, pages, fingerprint) as rebuilding from the
+    /// reference restriction with `Snapshot::new`.
+    #[test]
+    fn snapshot_restriction_matches_rebuilt_reference(
+        edges in arbitrary_edges(16, 80),
+        keep_sel in prop::collection::vec(0u8..2, 16..17),
+    ) {
+        let g = CsrGraph::from_edges(16, &edges);
+        let pages: Vec<PageId> = (0..16u64).map(|p| PageId(p * 7 + 1)).collect();
+        let snap = Snapshot::new(2.5, g.clone(), pages.clone()).unwrap();
+        let keep_nodes: Vec<NodeId> =
+            (0..16u32).filter(|&u| keep_sel[u as usize] == 1).collect();
+        let keep_pages: Vec<PageId> =
+            keep_nodes.iter().map(|&u| pages[u as usize]).collect();
+
+        let restricted = snap.restrict_to(&keep_pages).unwrap();
+
+        let reference_graph = g.induced_subgraph_sorted(&keep_nodes);
+        let reference =
+            Snapshot::new(2.5, reference_graph, keep_pages.clone()).unwrap();
+        prop_assert_eq!(&restricted.graph, &reference.graph);
+        prop_assert_eq!(restricted.pages(), reference.pages());
+        prop_assert_eq!(restricted.fingerprint(), reference.fingerprint());
+    }
+
+    /// Aligning a series puts every snapshot on one shared `Arc` page
+    /// universe — pointer equality, not just equal contents.
+    #[test]
+    fn aligned_series_shares_one_page_universe(
+        page_sel in prop::collection::vec(prop::collection::vec(0u8..2, 10..11), 2..5),
+    ) {
+        let mut series = SnapshotSeries::new();
+        for (t, sel) in page_sel.iter().enumerate() {
+            let pages: Vec<PageId> = (0..10u64)
+                .filter(|&p| sel[p as usize] == 1)
+                .map(PageId)
+                .collect();
+            let n = pages.len();
+            let g = CsrGraph::from_edges(
+                n,
+                &(1..n as u32).map(|u| (u - 1, u)).collect::<Vec<_>>(),
+            );
+            series.push(Snapshot::new(t as f64, g, pages).unwrap()).unwrap();
+        }
+        let aligned = series.aligned_to_common().unwrap();
+        prop_assert!(aligned.is_aligned());
+        if let Some(first) = aligned.snapshots().first() {
+            for s in aligned.snapshots() {
+                prop_assert!(std::sync::Arc::ptr_eq(s.page_set(), first.page_set()));
+            }
+        }
+    }
+
+    /// `restrict_snapshots` is thread-count-independent: budgets 1, 2,
+    /// and 8 produce bitwise-identical snapshots and fingerprints.
+    #[test]
+    fn parallel_restriction_is_thread_count_independent(
+        page_sel in prop::collection::vec(prop::collection::vec(0u8..2, 12..13), 2..6),
+    ) {
+        let mut series = SnapshotSeries::new();
+        for (t, sel) in page_sel.iter().enumerate() {
+            let pages: Vec<PageId> = (0..12u64)
+                .filter(|&p| sel[p as usize] == 1)
+                .map(PageId)
+                .collect();
+            let n = pages.len();
+            let g = CsrGraph::from_edges(
+                n,
+                &(0..n as u32).map(|u| (u, (u * 5 + 1) % n.max(1) as u32)).collect::<Vec<_>>(),
+            );
+            series.push(Snapshot::new(t as f64, g, pages).unwrap()).unwrap();
+        }
+        let keep = PageSet::from_sorted(series.common_pages());
+        let solo = qrank_graph::restrict_snapshots(series.snapshots(), &keep, 1).unwrap();
+        for threads in [2usize, 8] {
+            let multi =
+                qrank_graph::restrict_snapshots(series.snapshots(), &keep, threads).unwrap();
+            prop_assert_eq!(solo.len(), multi.len());
+            for (a, b) in solo.iter().zip(&multi) {
+                prop_assert_eq!(a.fingerprint(), b.fingerprint());
+                prop_assert_eq!(&a.graph, &b.graph);
+                prop_assert_eq!(a.pages(), b.pages());
+            }
         }
     }
 
@@ -208,8 +337,26 @@ fn series_roundtrip_edge_cases() {
     for (a, b) in series.snapshots().iter().zip(back.snapshots()) {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(&a.graph, &b.graph);
-        assert_eq!(&a.pages, &b.pages);
+        assert_eq!(a.pages(), b.pages());
     }
+}
+
+/// Golden fingerprint values captured from the pre-fused-restriction
+/// implementation (built at the commit before this refactor): the
+/// alignment rework must not change a single bit of any fingerprint,
+/// because the incremental stage engine keys its caches on them.
+#[test]
+fn snapshot_fingerprints_match_pre_refactor_golden_values() {
+    let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+    let s = Snapshot::new(1.5, g, vec![PageId(10), PageId(20), PageId(30)]).unwrap();
+    assert_eq!(s.fingerprint(), 0x931a_8678_37fc_c563);
+    let r = s.restrict_to(&[PageId(30), PageId(10)]).unwrap();
+    assert_eq!(r.fingerprint(), 0x18b0_2247_5148_4eb6);
+    assert_eq!(qrank_graph::pages_fingerprint(&[]), 0xa8c7_f832_281a_39c5);
+    assert_eq!(
+        qrank_graph::pages_fingerprint(&[PageId(10), PageId(30)]),
+        0x62f6_bf35_2f2a_4613
+    );
 }
 
 /// Every strict prefix of an encoded series is rejected — the decoder

@@ -350,11 +350,19 @@ impl RefreshEngine {
         self.pipeline.stats()
     }
 
+    /// Pin the stage engine's parallel align stage to `threads` workers
+    /// (0 restores the process-global default). Scheduling only —
+    /// published scores are bitwise identical at every budget.
+    pub fn set_thread_budget(&mut self, threads: usize) {
+        self.pipeline.set_thread_budget(threads);
+    }
+
     /// Diff `snap` against the engine's current state, producing the
     /// delta that replays it.
     fn delta_from_snapshot(&self, snap: &Snapshot) -> EdgeDelta {
         let mut delta = EdgeDelta::at(snap.time);
-        for p in &snap.pages {
+        let pages = snap.pages();
+        for p in pages {
             if !self.node_of_page.contains_key(&p.0) {
                 delta.new_pages.push(p.0);
             }
@@ -362,7 +370,7 @@ impl RefreshEngine {
         let now: BTreeSet<(u64, u64)> = snap
             .graph
             .edges()
-            .map(|(s, d)| (snap.pages[s as usize].0, snap.pages[d as usize].0))
+            .map(|(s, d)| (pages[s as usize].0, pages[d as usize].0))
             .collect();
         delta.added = now.difference(&self.alive_edges).copied().collect();
         delta.removed = self.alive_edges.difference(&now).copied().collect();

@@ -10,7 +10,7 @@
 //! [`qrank_graph::Snapshot`].
 
 use qrank_graph::traversal::bfs_limited;
-use qrank_graph::{GraphError, PageId, Snapshot, SnapshotSeries};
+use qrank_graph::{GraphError, PageId, PageSet, Snapshot, SnapshotSeries};
 
 use crate::World;
 
@@ -90,9 +90,14 @@ impl Crawler {
             }
         }
         captured.sort_unstable();
-        let (sub, kept) = g.induced_subgraph(&captured);
-        let pages = kept.into_iter().map(|p| PageId(p as u64)).collect();
-        Snapshot::new(t, sub, pages)
+        // `captured` is sorted, deduplicated (the `seen` mask), and
+        // in-range, so the snapshot is assembled through the trusted
+        // fused path: single-pass restriction, no defensive re-sort, and
+        // a pre-validated page universe (page ids are the captured node
+        // ids, ascending, so no duplicate check is needed either).
+        let sub = g.induced_subgraph_sorted(&captured);
+        let pages = PageSet::from_sorted(captured.iter().map(|&p| PageId(p as u64)).collect());
+        Snapshot::from_page_set(t, sub, pages)
     }
 
     /// Run a full snapshot study: advance the world through the schedule,
@@ -216,7 +221,7 @@ mod tests {
         let mut w = World::bootstrap(config()).unwrap();
         w.run_until(1.0);
         let snap = Crawler::default().crawl(&w, 1.0).unwrap();
-        for (node, &pid) in snap.pages.iter().enumerate() {
+        for (node, &pid) in snap.pages().iter().enumerate() {
             let p = pid.0 as u32;
             assert!(
                 w.page(p).created_at <= 1.0,

@@ -118,7 +118,7 @@ fn quality_reranking_promotes_young_quality_pages() {
     let pr = pagerank(&snap.graph, &PageRankConfig::default());
     // hypothetical quality-true scores (what a perfect estimator gives)
     let truth: Vec<f64> = snap
-        .pages
+        .pages()
         .iter()
         .map(|pid| w.page(pid.0 as u32).quality)
         .collect();
@@ -128,7 +128,7 @@ fn quality_reranking_promotes_young_quality_pages() {
     // young high-quality pages move up on average
     let now = w.time();
     let gems: Vec<usize> = snap
-        .pages
+        .pages()
         .iter()
         .enumerate()
         .filter(|(_, pid)| {

@@ -75,7 +75,7 @@ fn site_roots_earn_high_pagerank() {
     let top10_roots = ranking
         .iter()
         .take(10)
-        .filter(|&&n| roots.contains(&snap.pages[n as usize].0))
+        .filter(|&&n| roots.contains(&snap.pages()[n as usize].0))
         .count();
     assert!(top10_roots >= 5, "only {top10_roots} roots in the top 10");
 }

@@ -31,7 +31,7 @@ fn crawled_series_roundtrips_exactly() {
     assert_eq!(back.len(), series.len());
     assert_eq!(back.times(), series.times());
     for (a, b) in series.snapshots().iter().zip(back.snapshots()) {
-        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.pages(), b.pages());
         assert_eq!(a.graph, b.graph);
     }
 }
