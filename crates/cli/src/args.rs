@@ -39,6 +39,7 @@ impl From<std::io::Error> for CliError {
 #[derive(Debug, Clone)]
 pub struct Parsed {
     opts: HashMap<String, String>,
+    flags: Vec<String>,
     /// Whether `--help`/`-h` was present.
     pub help: bool,
 }
@@ -46,7 +47,19 @@ pub struct Parsed {
 /// Parse an argument list. `allowed` lists the permitted option names
 /// (without the `--`); unknown options are usage errors.
 pub fn parse(args: &[String], allowed: &[&str], usage: &str) -> Result<Parsed, CliError> {
+    parse_with_flags(args, allowed, &[], usage)
+}
+
+/// Like [`parse`], but `flags` additionally lists boolean options that
+/// take no value (surfaced via [`Parsed::has`]).
+pub fn parse_with_flags(
+    args: &[String],
+    allowed: &[&str],
+    flags: &[&str],
+    usage: &str,
+) -> Result<Parsed, CliError> {
     let mut opts = HashMap::new();
+    let mut seen_flags = Vec::new();
     let mut help = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -60,6 +73,16 @@ pub fn parse(args: &[String], allowed: &[&str], usage: &str) -> Result<Parsed, C
                 usage,
             ));
         };
+        if flags.contains(&key) {
+            if seen_flags.iter().any(|f| f == key) {
+                return Err(CliError::usage(
+                    format!("option `--{key}` given twice"),
+                    usage,
+                ));
+            }
+            seen_flags.push(key.to_string());
+            continue;
+        }
         if !allowed.contains(&key) {
             return Err(CliError::usage(format!("unknown option `--{key}`"), usage));
         }
@@ -76,13 +99,22 @@ pub fn parse(args: &[String], allowed: &[&str], usage: &str) -> Result<Parsed, C
             ));
         }
     }
-    Ok(Parsed { opts, help })
+    Ok(Parsed {
+        opts,
+        flags: seen_flags,
+        help,
+    })
 }
 
 impl Parsed {
     /// Raw string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.opts.get(key).map(String::as_str)
+    }
+
+    /// Was the boolean flag `key` present (see [`parse_with_flags`])?
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
     }
 
     /// Required string option.

@@ -10,4 +10,5 @@ pub mod pagerank;
 pub mod serve;
 pub mod simulate;
 pub mod stats;
+pub mod trace;
 pub mod wal;

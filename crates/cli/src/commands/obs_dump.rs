@@ -176,6 +176,7 @@ mod tests {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,
                 cache_capacity: 4,
+                ..Default::default()
             },
         )
         .unwrap()

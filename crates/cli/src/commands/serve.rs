@@ -33,6 +33,13 @@ options:
   --duration SECS    serve for SECS seconds then exit (default 0 = forever)
   --port-file FILE   write the bound address to FILE once listening
 
+tracing (see `qrank trace` for scraping a running server):
+  --trace-sample N   trace every N-th request (head-based, deterministic;
+                     default 0 = tracing off). Implies QRANK_OBS=1.
+                     Refresh cycles are always traced when sampling is on.
+  --slo-latency-us L per-request latency objective in microseconds for
+                     the SLO monitor (default 1000)
+
 durability (see `qrank wal` for offline inspection):
   --data-dir DIR     journal every ingested delta to a WAL in DIR and
                      recover from it on startup; the --series seed is
@@ -43,8 +50,9 @@ durability (see `qrank wal` for offline inspection):
                      deltas (default 256; 0 = only on clean shutdown)
 
 protocol (line-delimited JSON over TCP):
-  score <page> | topk <n> | stats | metrics | health
-  (`metrics` answers in Prometheus text format, terminated by `# EOF`)";
+  score <page> | topk <n> | stats | metrics | health | trace ...
+  (`metrics` answers in Prometheus text format, terminated by `# EOF`;
+  `trace` takes: slowest [verb] | id <n> | slo | report)";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
@@ -63,6 +71,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "data-dir",
         "fsync",
         "checkpoint-every",
+        "trace-sample",
+        "slo-latency-us",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -80,7 +90,14 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         addr: p.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: p.get_or("workers", 4, USAGE)?,
         cache_capacity: p.get_or("cache", 64, USAGE)?,
+        trace_sample: p.get_or("trace-sample", 0, USAGE)?,
+        slo_latency_us: p.get_or("slo-latency-us", 1_000, USAGE)?,
     };
+    if server_cfg.trace_sample > 0 {
+        // Tracing rides on the observability gate; requesting a sample
+        // rate is an explicit opt-in, equivalent to QRANK_OBS=1.
+        qrank_obs::set_enabled(true);
+    }
     let duration: f64 = p.get_or("duration", 0.0, USAGE)?;
     let threads: usize = p.get_or("threads", 0, USAGE)?;
     if threads > 0 {
@@ -99,7 +116,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     };
 
     let handle = Arc::new(StoreHandle::new());
-    let engine = match p.get("data-dir") {
+    let mut engine = match p.get("data-dir") {
         Some(data_dir) => {
             let fsync: FsyncPolicy = p
                 .get("fsync")
@@ -142,6 +159,15 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     };
     let store = handle.current();
     let server = serve(handle, &server_cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // Share the server's tracer with the refresh engine so ingest
+    // cycles land in the same slowest-K store and SLO windows.
+    engine.set_tracer(server.tracer());
+    if server_cfg.trace_sample > 0 {
+        eprintln!(
+            "tracing 1-in-{} requests (SLO latency objective {}µs); query with `trace` or `qrank trace`",
+            server_cfg.trace_sample, server_cfg.slo_latency_us
+        );
+    }
     let seeded = engine.stage_stats();
     eprintln!(
         "serving {} pages (generation {}, window of {} snapshots) on {}",

@@ -29,6 +29,7 @@ commands:
   serve      run the quality-score TCP service over a snapshot series
   bench-load load-test a running serve instance, report JSON latencies
   obs-dump   dump an observability snapshot from a server or pipeline run
+  trace      scrape request traces and SLO status from a traced server
   model      print the user-visitation model curves (paper figures 1-3)
   cohort     analytic popularity-vs-quality bias diagnostics
   wal        inspect, verify, or compact a serve durability directory
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(rest),
         "bench-load" => commands::bench_load::run(rest),
         "obs-dump" => commands::obs_dump::run(rest),
+        "trace" => commands::trace::run(rest),
         "model" => commands::model::run(rest),
         "cohort" => commands::cohort::run(rest),
         "wal" => commands::wal::run(rest),

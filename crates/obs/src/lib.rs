@@ -19,6 +19,11 @@
 //!   [`recorder::install_panic_hook`].
 //! * **[`convergence`]** — per-solve PageRank convergence traces:
 //!   solver tag, per-iteration residuals, iteration count, node count.
+//! * **[`trace`]** — request-scoped tracing: deterministically sampled
+//!   per-request stage breakdowns, slowest-K retention per verb, and
+//!   per-histogram-bucket tail-latency exemplars.
+//! * **[`slo`]** — per-verb rolling windows with multi-window
+//!   error-budget burn rates for latency and availability objectives.
 //!
 //! # Zero cost when disabled
 //!
@@ -45,12 +50,16 @@ pub mod convergence;
 pub mod json;
 pub mod recorder;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 pub use registry::{global, Counter, Gauge, Histogram, Registry, RegistrySnapshot};
+pub use slo::{SloConfig, SloMonitor};
 pub use span::SpanGuard;
+pub use trace::{ActiveTrace, Trace, TraceConfig, Tracer};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 

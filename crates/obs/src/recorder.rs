@@ -11,13 +11,53 @@
 //! process recorded (a monotonic epoch), so cross-thread ordering by
 //! `t_ns` is meaningful and wall-clock skew never enters the data.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
 use std::time::Instant;
 
 /// Maximum retained events; older ones fall off the front.
 pub const CAPACITY: usize = 4096;
+
+/// Fixed-capacity ring: until the buffer fills, events append in order;
+/// after that each new event overwrites the oldest slot and `next`
+/// marks where the oldest retained event now lives. Dumps rotate so the
+/// caller always sees oldest-first regardless of wraparound.
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Oldest slot once full == the next slot to overwrite.
+    next: usize,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Ring {
+            buf: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        if self.buf.len() < CAPACITY {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % CAPACITY;
+        }
+    }
+
+    /// Copy out in recording order: `next..` holds the oldest events
+    /// once the ring has wrapped.
+    fn in_order(&self) -> Vec<Event> {
+        let (older, newer) = self.buf.split_at(self.next);
+        newer.iter().chain(older).cloned().collect()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
+}
 
 /// One flight-recorder entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +77,7 @@ pub struct Event {
     pub detail: String,
 }
 
-static RING: Mutex<VecDeque<Event>> = Mutex::new(VecDeque::new());
+static RING: Mutex<Ring> = Mutex::new(Ring::new());
 static SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn epoch() -> Instant {
@@ -59,22 +99,17 @@ pub fn record(name: &str, dur_ns: u64, depth: u32, detail: &str) {
         depth,
         detail: detail.to_string(),
     };
-    let mut ring = RING
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if ring.len() == CAPACITY {
-        ring.pop_front();
-    }
-    ring.push_back(event);
+    RING.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(event);
 }
 
-/// Copy out the retained events, oldest first.
+/// Copy out the retained events, oldest first — even after the ring has
+/// wrapped (the dump rotates the backing buffer into recording order).
 pub fn events() -> Vec<Event> {
     RING.lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .iter()
-        .cloned()
-        .collect()
+        .in_order()
 }
 
 /// Drop every retained event (sequence numbers keep counting).
@@ -145,6 +180,38 @@ mod tests {
         crate::set_enabled(false);
         record("t.ghost", 0, 0, "");
         assert_eq!(events().len(), 3, "disabled recorder drops events");
+        clear();
+    }
+
+    #[test]
+    fn wraparound_keeps_ring_order_oldest_first() {
+        let _serial = crate::test_lock();
+        crate::set_enabled(true);
+        clear();
+        // Overfill the ring by 5; slots 0..5 are overwritten, so the
+        // oldest retained event is physically *after* the newest in the
+        // backing buffer. The dump must rotate back to recording order.
+        let base = SEQ.load(Ordering::Relaxed);
+        for i in 0..(CAPACITY + 5) {
+            record("t.wrap", i as u64, 0, "");
+        }
+        let evs = events();
+        assert_eq!(evs.len(), CAPACITY, "bounded after wraparound");
+        assert_eq!(evs[0].seq, base + 5, "oldest surviving event first");
+        assert_eq!(evs[CAPACITY - 1].seq, base + (CAPACITY + 5 - 1) as u64);
+        assert!(
+            evs.windows(2).all(|w| w[0].seq + 1 == w[1].seq),
+            "strictly increasing seq oldest→newest"
+        );
+        let json = to_json();
+        let first_seq = json.find("\"seq\":").map(|i| &json[i..i + 24]);
+        assert!(
+            first_seq
+                .unwrap()
+                .starts_with(&format!("\"seq\":{}", base + 5)),
+            "to_json leads with the oldest event, got {first_seq:?}"
+        );
+        crate::set_enabled(false);
         clear();
     }
 

@@ -21,6 +21,20 @@ use std::sync::{Arc, Mutex};
 /// recorded unit (nanoseconds for every latency histogram in qrank).
 pub const BUCKETS: usize = 40;
 
+/// The bucket index a value lands in: `⌊log2 v⌋`, clamped to the bucket
+/// range. Exposed so other subsystems (the tracing exemplar store) can
+/// key per-bucket state the exact same way the histograms do.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `i` (`2^i`, saturating at the top).
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
 /// A monotonically-increasing event counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -79,6 +93,10 @@ impl Gauge {
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
+    /// Smallest observation; `u64::MAX` sentinel while empty.
+    min: AtomicU64,
+    /// Largest observation; 0 sentinel while empty.
+    max: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -87,6 +105,8 @@ impl Default for Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -96,10 +116,14 @@ impl Histogram {
     /// Record one observation (nanoseconds, by workspace convention).
     #[inline]
     pub fn record(&self, value: u64) {
+        // min/max before the bucket increment, so a snapshot that counts
+        // this observation (count comes from the buckets) has already had
+        // the chance to see its extremes.
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
-        let bucket = (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -122,6 +146,8 @@ impl Histogram {
         HistogramSnapshot {
             count: buckets.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
+            min_raw: self.min.load(Ordering::Relaxed),
+            max_raw: self.max.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -129,6 +155,8 @@ impl Histogram {
     fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -143,6 +171,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observations.
     pub sum: u64,
+    /// Smallest observation as recorded (`u64::MAX` sentinel when empty).
+    pub min_raw: u64,
+    /// Largest observation as recorded (0 sentinel when empty).
+    pub max_raw: u64,
     /// `buckets[i]` = observations in `[2^i, 2^{i+1})`.
     pub buckets: Vec<u64>,
 }
@@ -157,29 +189,68 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Quantile `q ∈ [0, 1]`, linearly interpolated *within* the bucket
-    /// that holds the target rank (rather than snapping to a bucket
-    /// bound): if the rank falls a fraction `f` of the way through
-    /// bucket `[2^i, 2^{i+1})`, the estimate is `2^i · (1 + f)`.
-    pub fn percentile(&self, q: f64) -> f64 {
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0 && self.min_raw != u64::MAX).then_some(self.min_raw)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0 && self.min_raw != u64::MAX).then_some(self.max_raw)
+    }
+
+    /// Quantile `q ∈ [0, 1]`, or `None` when the histogram is empty.
+    ///
+    /// Exact at the extremes: `q = 0` returns the recorded minimum,
+    /// `q = 1` the recorded maximum, and a single-sample histogram
+    /// returns that sample for every `q`. In between, the estimate is
+    /// linearly interpolated *within* the bucket that holds the target
+    /// rank — if the rank falls a fraction `f` of the way through bucket
+    /// `[2^i, 2^{i+1})`, the estimate is `2^i · (1 + f)` — and then
+    /// clamped into `[min, max]`, since an estimate outside the observed
+    /// range is a known bucket-resolution artifact.
+    pub fn try_percentile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
-            return 0.0;
+            return None;
+        }
+        // min/max are read racily relative to the buckets; fall back to
+        // pure interpolation if the sentinels are still visible.
+        let extremes = self.min().zip(self.max());
+        if let Some((min, max)) = extremes {
+            if q <= 0.0 {
+                return Some(min as f64);
+            }
+            if q >= 1.0 || self.count == 1 {
+                return Some(if self.count == 1 { min } else { max } as f64);
+            }
         }
         let target = (q * self.count as f64).max(1.0);
         let mut seen = 0u64;
+        let mut estimate = bucket_lower_bound(BUCKETS - 1) as f64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if c == 0 {
                 continue;
             }
             let after = seen + c;
             if (after as f64) >= target {
-                let lo = (1u64 << i) as f64;
+                let lo = bucket_lower_bound(i) as f64;
                 let frac = (target - seen as f64) / c as f64;
-                return lo * (1.0 + frac.clamp(0.0, 1.0));
+                estimate = lo * (1.0 + frac.clamp(0.0, 1.0));
+                break;
             }
             seen = after;
         }
-        (1u64 << (BUCKETS - 1)) as f64
+        match extremes {
+            Some((min, max)) => Some(estimate.clamp(min as f64, max as f64)),
+            None => Some(estimate),
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` (0.0 when empty). Prefer
+    /// [`try_percentile`](Self::try_percentile) where "empty" and
+    /// "fast" must not be conflated.
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.try_percentile(q).unwrap_or(0.0)
     }
 }
 
@@ -436,12 +507,15 @@ mod tests {
         }
         h.record(4_000_000);
         let s = h.snapshot();
-        // rank 50 of 99 in-bucket observations → 512·(1 + 50/99) ≈ 770ns
+        // rank 50 of 99 in-bucket observations interpolates to
+        // 512·(1 + 50/99) ≈ 770ns, then clamps up to the observed
+        // minimum — no estimate below the smallest recorded sample.
         let p50 = s.percentile(0.50);
-        assert!((700.0..900.0).contains(&p50), "p50 {p50}");
-        // p99 = rank 99 = the last in-bucket observation, which
-        // interpolates exactly to the bucket's upper bound
-        assert!(s.percentile(0.99) <= 1_024.0);
+        assert_eq!(p50, 1_000.0, "p50 {p50}");
+        // p99 = rank 99 = the last in-bucket observation: interpolates
+        // to the bucket's upper bound, clamped into [min, max]
+        let p99 = s.percentile(0.99);
+        assert!((1_000.0..=1_024.0).contains(&p99), "p99 {p99}");
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 99 * 1_000 + 4_000_000);
     }
@@ -449,8 +523,32 @@ mod tests {
     #[test]
     fn empty_histogram_is_zero() {
         let s = Histogram::default().snapshot();
+        assert_eq!(s.try_percentile(0.5), None);
         assert_eq!(s.percentile(0.5), 0.0);
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn percentile_extremes_are_exact() {
+        let h = Histogram::default();
+        h.record(700);
+        let s = h.snapshot();
+        // A single-sample histogram answers every quantile with the
+        // sample itself, not a bucket-interpolated estimate.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.try_percentile(q), Some(700.0), "q={q}");
+        }
+        h.record(3_000);
+        h.record(9_000);
+        let s = h.snapshot();
+        assert_eq!(s.try_percentile(0.0), Some(700.0), "p0 = exact min");
+        assert_eq!(s.try_percentile(1.0), Some(9_000.0), "p100 = exact max");
+        assert_eq!(s.min(), Some(700));
+        assert_eq!(s.max(), Some(9_000));
+        let p50 = s.try_percentile(0.5).unwrap();
+        assert!((700.0..=9_000.0).contains(&p50), "clamped p50 {p50}");
     }
 
     #[test]

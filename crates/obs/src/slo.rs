@@ -1,0 +1,348 @@
+//! SLO monitoring: per-verb rolling windows and multi-window burn rates.
+//!
+//! A [`SloMonitor`] tracks two service-level indicators per verb:
+//!
+//! * **latency** — the fraction of requests at or under the configured
+//!   latency objective;
+//! * **availability** — the fraction of requests that did not error.
+//!
+//! Counts land in fixed-width time slots (a ring per verb, sized to the
+//! longest configured window), and [`SloMonitor::status`] aggregates the
+//! slots into every configured window to compute a **burn rate**: the
+//! observed bad fraction divided by the error budget `1 − goal`. Burn
+//! `1.0` means the budget is being consumed exactly as fast as it
+//! accrues; sustained burn above `1.0` across *all* windows (the classic
+//! multi-window alerting rule, which suppresses short spikes) marks the
+//! objective breached.
+//!
+//! The monitor never reads a clock itself: callers pass `now_ns` from
+//! their own monotonic epoch (the [`crate::trace::Tracer`] does), which
+//! keeps the window math deterministic under test.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Objectives and window shape for a [`SloMonitor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// A request is "fast" iff its latency is ≤ this many nanoseconds.
+    pub latency_objective_ns: u64,
+    /// Target fraction of fast requests (e.g. `0.99` = p99 objective).
+    pub latency_goal: f64,
+    /// Target fraction of non-error requests (e.g. `0.999`).
+    pub availability_goal: f64,
+    /// Rolling windows to aggregate, in seconds, shortest first
+    /// (multi-window burn-rate alerting needs at least two).
+    pub windows_seconds: Vec<u64>,
+    /// Slot width of the underlying ring in nanoseconds. One second by
+    /// default; tests shrink it to exercise expiry without sleeping.
+    pub slot_ns: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_objective_ns: 1_000_000, // 1ms
+            latency_goal: 0.99,
+            availability_goal: 0.999,
+            windows_seconds: vec![60, 600, 3600],
+            slot_ns: 1_000_000_000,
+        }
+    }
+}
+
+/// One time slot's worth of counts for a verb.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Which slot index these counts belong to (`u64::MAX` = unused).
+    index: u64,
+    total: u64,
+    fast: u64,
+    errors: u64,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    index: u64::MAX,
+    total: 0,
+    fast: 0,
+    errors: 0,
+};
+
+/// Ring of slots for one verb; a slot is lazily re-zeroed when its
+/// position is revisited with a newer index.
+#[derive(Debug)]
+struct VerbRing {
+    slots: Vec<Slot>,
+}
+
+impl VerbRing {
+    fn new(capacity: usize) -> Self {
+        VerbRing {
+            slots: vec![EMPTY_SLOT; capacity],
+        }
+    }
+
+    fn record(&mut self, index: u64, fast: bool, ok: bool) {
+        let pos = (index % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[pos];
+        if slot.index != index {
+            *slot = Slot {
+                index,
+                ..EMPTY_SLOT
+            };
+        }
+        slot.total += 1;
+        if fast {
+            slot.fast += 1;
+        }
+        if !ok {
+            slot.errors += 1;
+        }
+    }
+
+    /// Sum the slots covering `(now_index − window_slots, now_index]`.
+    fn window(&self, now_index: u64, window_slots: u64) -> (u64, u64, u64) {
+        let oldest = now_index.saturating_sub(window_slots - 1);
+        let mut total = 0;
+        let mut fast = 0;
+        let mut errors = 0;
+        for slot in &self.slots {
+            if slot.index >= oldest && slot.index <= now_index {
+                total += slot.total;
+                fast += slot.fast;
+                errors += slot.errors;
+            }
+        }
+        (total, fast, errors)
+    }
+}
+
+/// Counts and burn rates for one verb over one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBurn {
+    /// Window length in seconds.
+    pub seconds: u64,
+    /// Requests observed in the window.
+    pub total: u64,
+    /// Requests at or under the latency objective.
+    pub fast: u64,
+    /// Requests that errored.
+    pub errors: u64,
+    /// Latency error-budget burn rate (`0.0` when the window is empty).
+    pub latency_burn: f64,
+    /// Availability error-budget burn rate (`0.0` when empty).
+    pub availability_burn: f64,
+}
+
+/// SLO status for one verb: every configured window plus the
+/// multi-window breach verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbSlo {
+    /// The verb these windows describe.
+    pub verb: &'static str,
+    /// One entry per configured window, in configuration order.
+    pub windows: Vec<WindowBurn>,
+    /// True iff every window with traffic burns latency budget at ≥ 1×
+    /// (and at least one window has traffic).
+    pub latency_breach: bool,
+    /// Availability analogue of `latency_breach`.
+    pub availability_breach: bool,
+}
+
+/// Rolling-window SLO monitor; see the module docs.
+#[derive(Debug)]
+pub struct SloMonitor {
+    cfg: SloConfig,
+    capacity: usize,
+    verbs: Mutex<BTreeMap<&'static str, VerbRing>>,
+}
+
+impl SloMonitor {
+    /// Build a monitor; the per-verb ring is sized to the longest
+    /// configured window (plus one slot so "now" never evicts the
+    /// oldest in-window slot).
+    pub fn new(cfg: SloConfig) -> Self {
+        let slot_ns = cfg.slot_ns.max(1);
+        let max_window_ns = cfg
+            .windows_seconds
+            .iter()
+            .map(|s| s.saturating_mul(1_000_000_000))
+            .max()
+            .unwrap_or(slot_ns);
+        let capacity = (max_window_ns.div_ceil(slot_ns) as usize + 1).max(2);
+        SloMonitor {
+            cfg,
+            capacity,
+            verbs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The configured objectives.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Count one request for `verb` at monotonic time `now_ns`.
+    pub fn record(&self, verb: &'static str, now_ns: u64, latency_ns: u64, ok: bool) {
+        let index = now_ns / self.cfg.slot_ns.max(1);
+        let fast = latency_ns <= self.cfg.latency_objective_ns;
+        let mut verbs = self.verbs.lock().unwrap();
+        verbs
+            .entry(verb)
+            .or_insert_with(|| VerbRing::new(self.capacity))
+            .record(index, fast, ok);
+    }
+
+    /// Aggregate every verb's windows as of `now_ns`.
+    pub fn status(&self, now_ns: u64) -> Vec<VerbSlo> {
+        let slot_ns = self.cfg.slot_ns.max(1);
+        let now_index = now_ns / slot_ns;
+        let verbs = self.verbs.lock().unwrap();
+        verbs
+            .iter()
+            .map(|(&verb, ring)| {
+                let windows: Vec<WindowBurn> = self
+                    .cfg
+                    .windows_seconds
+                    .iter()
+                    .map(|&seconds| {
+                        let window_slots = (seconds.saturating_mul(1_000_000_000) / slot_ns).max(1);
+                        let (total, fast, errors) = ring.window(now_index, window_slots);
+                        WindowBurn {
+                            seconds,
+                            total,
+                            fast,
+                            errors,
+                            latency_burn: burn_rate(total, total - fast, self.cfg.latency_goal),
+                            availability_burn: burn_rate(total, errors, self.cfg.availability_goal),
+                        }
+                    })
+                    .collect();
+                let active = windows.iter().filter(|w| w.total > 0);
+                let latency_breach = active.clone().count() > 0
+                    && windows
+                        .iter()
+                        .filter(|w| w.total > 0)
+                        .all(|w| w.latency_burn >= 1.0);
+                let availability_breach = active.count() > 0
+                    && windows
+                        .iter()
+                        .filter(|w| w.total > 0)
+                        .all(|w| w.availability_burn >= 1.0);
+                VerbSlo {
+                    verb,
+                    windows,
+                    latency_breach,
+                    availability_breach,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Burn rate = observed bad fraction / error budget (`1 − goal`).
+fn burn_rate(total: u64, bad: u64, goal: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let budget = (1.0 - goal).max(1e-9);
+    (bad as f64 / total as f64) / budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            latency_objective_ns: 1_000,
+            latency_goal: 0.99,
+            availability_goal: 0.9,
+            windows_seconds: vec![1, 10],
+            slot_ns: 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let m = SloMonitor::new(cfg());
+        // 99 fast + 1 slow = exactly the 1% latency budget → burn 1.0.
+        for i in 0..99 {
+            m.record("score", i, 500, true);
+        }
+        m.record("score", 99, 50_000, true);
+        let status = m.status(99);
+        let s = &status[0];
+        assert_eq!(s.verb, "score");
+        let w10 = &s.windows[1];
+        assert_eq!((w10.total, w10.fast, w10.errors), (100, 99, 0));
+        assert!(
+            (w10.latency_burn - 1.0).abs() < 1e-9,
+            "{}",
+            w10.latency_burn
+        );
+        assert_eq!(w10.availability_burn, 0.0);
+    }
+
+    #[test]
+    fn multi_window_breach_needs_every_window_burning() {
+        let m = SloMonitor::new(cfg());
+        let sec = 1_000_000_000u64;
+        // Seconds 0..8: all slow → long window burns hard.
+        for t in 0..8 {
+            m.record("topk", t * sec, 50_000, true);
+        }
+        // Second 9 (the whole short window): fast traffic.
+        for i in 0..100 {
+            m.record("topk", 9 * sec + i, 500, true);
+        }
+        let status = m.status(9 * sec + 500);
+        let s = &status[0];
+        assert!(s.windows[1].latency_burn >= 1.0, "long window burning");
+        assert!(s.windows[0].latency_burn < 1.0, "short window recovered");
+        assert!(
+            !s.latency_breach,
+            "short-window recovery suppresses the page"
+        );
+        // Make the short window burn too (3 slow of 103 ≈ 2.9× budget):
+        // now every window is burning, which is the breach condition.
+        for i in 0..3 {
+            m.record("topk", 9 * sec + 200_000 + i, 50_000, true);
+        }
+        let status = m.status(9 * sec + 300_000);
+        assert!(status[0].windows[0].latency_burn >= 1.0);
+        assert!(status[0].latency_breach, "all windows burning → breach");
+    }
+
+    #[test]
+    fn windows_expire_and_errors_drive_availability() {
+        let m = SloMonitor::new(cfg());
+        let sec = 1_000_000_000u64;
+        for i in 0..10 {
+            m.record("score", i, 500, i % 2 == 0); // 50% errors, budget 10%
+        }
+        let s = m.status(10);
+        assert!((s[0].windows[0].availability_burn - 5.0).abs() < 1e-9);
+        assert!(
+            s[0].availability_breach,
+            "both windows saturated with errors"
+        );
+        // Two hours later every slot has aged out of both windows.
+        let s = m.status(7_200 * sec);
+        assert_eq!(s[0].windows[1].total, 0);
+        assert_eq!(s[0].windows[1].availability_burn, 0.0);
+        assert!(!s[0].availability_breach, "no traffic, no breach");
+    }
+
+    #[test]
+    fn slots_rezero_on_ring_reuse() {
+        let m = SloMonitor::new(cfg()); // capacity = 11 slots
+        let sec = 1_000_000_000u64;
+        m.record("score", 0, 500, true);
+        // Same ring position, much later index: the stale slot must not
+        // leak its counts into the new window.
+        m.record("score", 11 * sec, 500, true);
+        let s = m.status(11 * sec);
+        assert_eq!(s[0].windows[0].total, 1);
+    }
+}

@@ -19,10 +19,17 @@
 //!   recovers a data directory to bitwise-identical published scores.
 //! * **Front end** ([`server`]) — a fixed-size thread-pool TCP server
 //!   speaking a line-delimited JSON protocol (`score <page>`,
-//!   `topk <n>`, `stats`, `metrics`, `health`), with an LRU cache for
-//!   `topk` responses, per-request latency counters backed by a
-//!   `qrank-obs` registry, and draining shutdown. The `metrics` verb
+//!   `topk <n>`, `stats`, `metrics`, `health`, `trace …`), with an LRU
+//!   cache for `topk` responses, per-request latency counters backed by
+//!   a `qrank-obs` registry, and draining shutdown. The `metrics` verb
 //!   answers in the Prometheus text format, terminated by `# EOF`.
+//! * **Tracing** — with `--trace-sample N` (ServerConfig
+//!   `trace_sample`), every N-th request gets a [`qrank_obs::Trace`]
+//!   with per-stage latency attribution (parse → store read → cache
+//!   lookup → serialize → write), retained slowest-first per verb and
+//!   queryable over the wire via the `trace` verb; an SLO monitor
+//!   watches every request (sampled or not) against latency and
+//!   availability objectives. See [`qrank_obs::trace`].
 //!
 //! [`loadgen`] is the matching closed-loop load generator behind
 //! `qrank bench-load`.
@@ -68,9 +75,12 @@ pub use qrank_obs::json;
 pub use cache::LruCache;
 pub use durability::{DurabilityConfig, RecoveryReport};
 pub use error::ServeError;
-pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use loadgen::{run_load, LoadConfig, LoadReport, VerbLatency};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, render_trace, verb_name, Request, TraceQuery};
+/// Re-exported so embedders wiring a [`ServerHandle`] tracer into a
+/// [`RefreshEngine`] don't need a direct `qrank-obs` dependency.
+pub use qrank_obs::trace::{TraceConfig, Tracer};
 /// Re-exported so callers configuring [`DurabilityConfig`] don't need a
 /// direct `qrank-wal` dependency.
 pub use qrank_wal::FsyncPolicy;
@@ -78,5 +88,5 @@ pub use refresh::{
     format_delta, format_deltas, parse_deltas, spawn_refresh_worker, EdgeDelta, RefreshConfig,
     RefreshEngine, RefreshMsg, RefreshStats,
 };
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{handle_request, handle_request_traced, serve, ServerConfig, ServerHandle};
 pub use store::{PageScores, ScoreStore, StoreHandle};

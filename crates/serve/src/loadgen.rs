@@ -11,7 +11,7 @@ use std::net::TcpStream;
 use std::time::Instant;
 
 use crate::error::ServeError;
-use crate::json::Obj;
+use crate::json::{array, Obj};
 
 /// Load-generation parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +71,35 @@ pub struct LoadReport {
     pub p50_us: f64,
     /// 99th-percentile per-request latency in microseconds.
     pub p99_us: f64,
+    /// Per-verb latency breakdown (one entry per verb that was sent).
+    pub verbs: Vec<VerbLatency>,
+}
+
+/// Latency summary for one request verb in a load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerbLatency {
+    /// The wire verb (`score` or `topk`).
+    pub verb: &'static str,
+    /// Requests of this verb answered.
+    pub requests: u64,
+    /// Mean per-request latency in microseconds.
+    pub mean_us: f64,
+    /// Median per-request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request latency in microseconds.
+    pub p99_us: f64,
+}
+
+impl VerbLatency {
+    fn to_json(&self) -> String {
+        Obj::new()
+            .str("verb", self.verb)
+            .int("requests", self.requests)
+            .num("mean_us", self.mean_us)
+            .num("p50_us", self.p50_us)
+            .num("p99_us", self.p99_us)
+            .finish()
+    }
 }
 
 impl LoadReport {
@@ -85,6 +114,7 @@ impl LoadReport {
             .num("mean_us", self.mean_us)
             .num("p50_us", self.p50_us)
             .num("p99_us", self.p99_us)
+            .raw("verbs", &array(self.verbs.iter().map(VerbLatency::to_json)))
             .finish()
     }
 }
@@ -98,9 +128,14 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// True when request `index` of the mix is a `topk` (else `score`).
+fn is_topk(cfg: &LoadConfig, index: usize) -> bool {
+    cfg.topk_every > 0 && index % cfg.topk_every == cfg.topk_every - 1
+}
+
 /// The request mix for one connection, as wire lines.
 fn request_line(cfg: &LoadConfig, rng: &mut u64, index: usize) -> String {
-    if cfg.topk_every > 0 && index % cfg.topk_every == cfg.topk_every - 1 {
+    if is_topk(cfg, index) {
         format!("topk {}\n", cfg.topk_k)
     } else {
         format!("score {}\n", splitmix64(rng) % cfg.max_page.max(1))
@@ -108,7 +143,10 @@ fn request_line(cfg: &LoadConfig, rng: &mut u64, index: usize) -> String {
 }
 
 struct ConnResult {
+    /// All per-request latencies, batch order.
     latencies_ns: Vec<u64>,
+    /// The same latencies split by verb: `[score, topk]`.
+    by_verb_ns: [Vec<u64>; 2],
     errors: u64,
 }
 
@@ -119,6 +157,7 @@ fn run_connection(cfg: &LoadConfig, conn_index: usize) -> Result<ConnResult, Ser
     let mut reader = BufReader::new(stream);
     let mut rng = cfg.seed ^ (conn_index as u64).wrapping_mul(0x5851_f42d_4c95_7f2d);
     let mut latencies_ns = Vec::with_capacity(cfg.requests_per_connection);
+    let mut by_verb_ns = [Vec::new(), Vec::new()];
     let mut errors = 0u64;
     let mut response = String::new();
     let depth = cfg.pipeline.max(1);
@@ -145,10 +184,16 @@ fn run_connection(cfg: &LoadConfig, conn_index: usize) -> Result<ConnResult, Ser
         }
         let per_request = started.elapsed().as_nanos() as u64 / batch as u64;
         latencies_ns.extend(std::iter::repeat_n(per_request, batch));
+        // Pipelined batches split wall time evenly, so the verb split is
+        // an attribution of the averaged latency, not a re-measurement.
+        for i in 0..batch {
+            by_verb_ns[is_topk(cfg, sent + i) as usize].push(per_request);
+        }
         sent += batch;
     }
     Ok(ConnResult {
         latencies_ns,
+        by_verb_ns,
         errors,
     })
 }
@@ -183,37 +228,38 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     });
     let elapsed_seconds = started.elapsed().as_secs_f64();
     let mut latencies_ns = Vec::new();
+    let mut by_verb_ns = [Vec::new(), Vec::new()];
     let mut errors = 0u64;
     for r in results {
         let r = r?;
         latencies_ns.extend(r.latencies_ns);
+        for (merged, conn) in by_verb_ns.iter_mut().zip(r.by_verb_ns) {
+            merged.extend(conn);
+        }
         errors += r.errors;
     }
     latencies_ns.sort_unstable();
     let requests = latencies_ns.len() as u64;
-    // Linear interpolation between the two order statistics straddling
-    // the target rank — not the nearest-rank sample, and not a histogram
-    // bucket bound. With the batch-averaged latencies the pipeline
-    // produces, nearest-rank snapped whole percentile steps to one
-    // batch's value; interpolation keeps the report smooth.
-    let percentile = |q: f64| -> f64 {
-        match latencies_ns.as_slice() {
-            [] => 0.0,
-            [only] => *only as f64 / 1_000.0,
-            samples => {
-                let pos = q.clamp(0.0, 1.0) * (samples.len() - 1) as f64;
-                let lo = pos.floor() as usize;
-                let hi = pos.ceil() as usize;
-                let frac = pos - lo as f64;
-                (samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac) / 1_000.0
-            }
-        }
-    };
     let mean_us = if requests == 0 {
         0.0
     } else {
         latencies_ns.iter().sum::<u64>() as f64 / requests as f64 / 1_000.0
     };
+    let verbs = ["score", "topk"]
+        .into_iter()
+        .zip(by_verb_ns.iter_mut())
+        .filter(|(_, samples)| !samples.is_empty())
+        .map(|(verb, samples)| {
+            samples.sort_unstable();
+            VerbLatency {
+                verb,
+                requests: samples.len() as u64,
+                mean_us: samples.iter().sum::<u64>() as f64 / samples.len() as f64 / 1_000.0,
+                p50_us: percentile_us(samples, 0.50),
+                p99_us: percentile_us(samples, 0.99),
+            }
+        })
+        .collect();
     Ok(LoadReport {
         connections: cfg.connections,
         requests,
@@ -221,9 +267,31 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
         elapsed_seconds,
         throughput_rps: requests as f64 / elapsed_seconds,
         mean_us,
-        p50_us: percentile(0.50),
-        p99_us: percentile(0.99),
+        p50_us: percentile_us(&latencies_ns, 0.50),
+        p99_us: percentile_us(&latencies_ns, 0.99),
+        verbs,
     })
+}
+
+/// Percentile of sorted nanosecond `samples`, in microseconds.
+///
+/// Linear interpolation between the two order statistics straddling
+/// the target rank — not the nearest-rank sample, and not a histogram
+/// bucket bound. With the batch-averaged latencies the pipeline
+/// produces, nearest-rank snapped whole percentile steps to one
+/// batch's value; interpolation keeps the report smooth.
+fn percentile_us(samples: &[u64], q: f64) -> f64 {
+    match samples {
+        [] => 0.0,
+        [only] => *only as f64 / 1_000.0,
+        samples => {
+            let pos = q.clamp(0.0, 1.0) * (samples.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            (samples[lo] as f64 * (1.0 - frac) + samples[hi] as f64 * frac) / 1_000.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -241,10 +309,21 @@ mod tests {
             mean_us: 12.5,
             p50_us: 10.0,
             p99_us: 40.0,
+            verbs: vec![VerbLatency {
+                verb: "score",
+                requests: 90,
+                mean_us: 11.0,
+                p50_us: 9.0,
+                p99_us: 35.0,
+            }],
         };
         let json = report.to_json();
         assert!(json.contains(r#""throughput_rps":200"#), "{json}");
         assert!(json.contains(r#""requests":100"#), "{json}");
+        assert!(
+            json.contains(r#""verbs":[{"verb":"score","requests":90"#),
+            "{json}"
+        );
     }
 
     #[test]

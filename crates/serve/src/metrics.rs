@@ -88,6 +88,8 @@ impl Metrics {
             mean_latency_us: latency.mean() / 1_000.0,
             p50_us: latency.percentile(0.50) / 1_000.0,
             p99_us: latency.percentile(0.99) / 1_000.0,
+            min_us: latency.min().unwrap_or(0) as f64 / 1_000.0,
+            max_us: latency.max().unwrap_or(0) as f64 / 1_000.0,
             uptime_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -116,6 +118,10 @@ pub struct MetricsSnapshot {
     pub p50_us: f64,
     /// Estimated 99th-percentile latency in microseconds.
     pub p99_us: f64,
+    /// Exact fastest request in microseconds (0 before any request).
+    pub min_us: f64,
+    /// Exact slowest request in microseconds (0 before any request).
+    pub max_us: f64,
     /// Seconds since the metrics (≈ the server) started.
     pub uptime_seconds: f64,
 }
@@ -150,6 +156,8 @@ mod tests {
         assert_eq!(s.errors, 1);
         assert!((s.mean_latency_us - 2.0).abs() < 1e-9);
         assert!((s.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min_us, 1.0, "exact extremes, not bucket estimates");
+        assert_eq!(s.max_us, 3.0);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use qrank_core::Trend;
 use qrank_graph::PageId;
+use qrank_obs::Tracer;
 
 use crate::json::{array, Obj};
 use crate::metrics::MetricsSnapshot;
@@ -27,6 +28,22 @@ use crate::store::{PageScores, ScoreStore};
 /// Largest `k` a `topk` request may ask for (keeps one response line
 /// bounded; clients page beyond this).
 pub const MAX_TOPK: usize = 10_000;
+
+/// What a `trace` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceQuery {
+    /// `trace` / `trace slowest [verb]` — the slowest retained traces,
+    /// optionally filtered to one verb (verbs are a closed set, so the
+    /// filter is canonicalized to a static name at parse time).
+    Slowest(Option<&'static str>),
+    /// `trace id <n>` — one recently retained trace by id.
+    ById(u64),
+    /// `trace slo` — per-verb latency summaries and burn rates as JSON.
+    Slo,
+    /// `trace report` — human-readable latency-attribution breakdown
+    /// (multi-line; terminated by `# EOF` like `metrics`).
+    Report,
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +60,32 @@ pub enum Request {
     Metrics,
     /// `health` — liveness / readiness probe.
     Health,
+    /// `trace …` — query the request-scoped tracing subsystem.
+    Trace(TraceQuery),
+}
+
+/// The wire name of a request's verb (used to key per-verb latency
+/// histograms, SLO windows, and slowest-K retention).
+pub fn verb_name(r: &Request) -> &'static str {
+    match r {
+        Request::Score(_) => "score",
+        Request::TopK(_) => "topk",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Health => "health",
+        Request::Trace(_) => "trace",
+    }
+}
+
+/// Canonicalize a trace-filter verb to its static name (the verbs are a
+/// closed set; `refresh` and `recover` are the forced-trace verbs the
+/// refresh engine records).
+fn canonical_verb(s: &str) -> Option<&'static str> {
+    [
+        "score", "topk", "stats", "metrics", "health", "trace", "error", "refresh", "recover",
+    ]
+    .into_iter()
+    .find(|&v| s == v)
 }
 
 /// Parse one request line (already stripped of its newline).
@@ -61,9 +104,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["stats"] => Ok(Request::Stats),
         ["metrics"] => Ok(Request::Metrics),
         ["health"] => Ok(Request::Health),
+        ["trace"] | ["trace", "slowest"] => Ok(Request::Trace(TraceQuery::Slowest(None))),
+        ["trace", "slowest", verb] => match canonical_verb(verb) {
+            Some(v) => Ok(Request::Trace(TraceQuery::Slowest(Some(v)))),
+            None => Err(format!("unknown trace verb filter {verb:?}")),
+        },
+        ["trace", "id", n] => n
+            .parse::<u64>()
+            .map(|id| Request::Trace(TraceQuery::ById(id)))
+            .map_err(|_| format!("bad trace id {n:?}")),
+        ["trace", "slo"] => Ok(Request::Trace(TraceQuery::Slo)),
+        ["trace", "report"] => Ok(Request::Trace(TraceQuery::Report)),
+        ["trace", ..] => Err("trace usage: trace [slowest [verb] | id <n> | slo | report]".into()),
         [] => Err("empty request".to_string()),
         [verb, ..] => Err(format!(
-            "unknown command {verb:?} (try: score/topk/stats/metrics/health)"
+            "unknown command {verb:?} (try: score/topk/stats/metrics/health/trace)"
         )),
     }
 }
@@ -128,6 +183,8 @@ pub fn render_stats(store: &ScoreStore, m: &MetricsSnapshot) -> String {
         .num("mean_latency_us", m.mean_latency_us)
         .num("p50_us", m.p50_us)
         .num("p99_us", m.p99_us)
+        .num("min_us", m.min_us)
+        .num("max_us", m.max_us)
         .num("uptime_seconds", m.uptime_seconds)
         .finish()
 }
@@ -153,6 +210,42 @@ pub fn render_metrics(store: &ScoreStore, metrics: &crate::metrics::Metrics) -> 
     out.push_str(&qrank_obs::global().snapshot().prometheus_text());
     out.push_str("# EOF");
     out
+}
+
+/// Render a `trace` response.
+///
+/// `tracer` is `None` when the server was started without
+/// `--trace-sample`, in which case every query answers with an error
+/// explaining how to turn tracing on. `Report` is the one multi-line
+/// answer (terminated by `# EOF`, like `metrics`); everything else is a
+/// single JSON line.
+pub fn render_trace(tracer: Option<&Tracer>, query: TraceQuery) -> String {
+    let Some(t) = tracer else {
+        return render_error("tracing disabled (start the server with --trace-sample N)");
+    };
+    match query {
+        TraceQuery::Slowest(verb) => Obj::new()
+            .bool("ok", true)
+            .raw("traces", &t.slowest_json(verb))
+            .finish(),
+        TraceQuery::ById(id) => match t.by_id(id) {
+            Some(trace) => Obj::new()
+                .bool("ok", true)
+                .raw("trace", &trace.to_json())
+                .finish(),
+            None => render_error(&format!("no retained trace with id {id}")),
+        },
+        TraceQuery::Slo => Obj::new()
+            .bool("ok", true)
+            .raw("slo", &t.slo_json())
+            .raw("exemplars", &t.exemplars_json())
+            .finish(),
+        TraceQuery::Report => {
+            let mut out = t.report_text();
+            out.push_str("# EOF");
+            out
+        }
+    }
 }
 
 /// Render a `health` response (`"empty"` until the first generation is
@@ -190,6 +283,26 @@ mod tests {
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
         assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("health"), Ok(Request::Health));
+        assert_eq!(
+            parse_request("trace"),
+            Ok(Request::Trace(TraceQuery::Slowest(None)))
+        );
+        assert_eq!(
+            parse_request("trace slowest topk"),
+            Ok(Request::Trace(TraceQuery::Slowest(Some("topk"))))
+        );
+        assert_eq!(
+            parse_request("trace id 7"),
+            Ok(Request::Trace(TraceQuery::ById(7)))
+        );
+        assert_eq!(
+            parse_request("trace slo"),
+            Ok(Request::Trace(TraceQuery::Slo))
+        );
+        assert_eq!(
+            parse_request("trace report"),
+            Ok(Request::Trace(TraceQuery::Report))
+        );
     }
 
     #[test]
@@ -200,6 +313,59 @@ mod tests {
         assert!(parse_request("topk 0").is_err());
         assert!(parse_request("topk 999999999").is_err());
         assert!(parse_request("flush all").is_err());
+        assert!(parse_request("trace slowest frobnicate").is_err());
+        assert!(parse_request("trace id x").is_err());
+        assert!(parse_request("trace everything").is_err());
+    }
+
+    #[test]
+    fn trace_without_tracer_answers_a_helpful_error() {
+        for q in [
+            TraceQuery::Slowest(None),
+            TraceQuery::ById(1),
+            TraceQuery::Slo,
+            TraceQuery::Report,
+        ] {
+            let r = render_trace(None, q);
+            assert!(r.contains("tracing disabled"), "{r}");
+        }
+    }
+
+    #[test]
+    fn trace_renders_against_a_live_tracer() {
+        use qrank_obs::TraceConfig;
+        // The tracer only records while the global obs gate is on; tests
+        // in this binary that toggle it are serialized by running this
+        // sequence atomically against a fresh tracer either way.
+        qrank_obs::set_enabled(true);
+        let t = Tracer::new(TraceConfig {
+            sample_every: 1,
+            ..TraceConfig::default()
+        });
+        let mut active = t.begin_sampled("score").unwrap();
+        active.stage("serialize");
+        let id = active.id();
+        t.finish(active, true);
+        t.observe("score", 1_000, true);
+        qrank_obs::set_enabled(false);
+
+        let slowest = render_trace(Some(&t), TraceQuery::Slowest(None));
+        assert!(slowest.contains(r#""ok":true"#), "{slowest}");
+        assert!(slowest.contains(r#""verb":"score""#), "{slowest}");
+        let by_id = render_trace(Some(&t), TraceQuery::ById(id));
+        assert!(by_id.contains(r#""stages""#), "{by_id}");
+        assert!(render_trace(Some(&t), TraceQuery::ById(id + 99)).contains("no retained trace"));
+        let slo = render_trace(Some(&t), TraceQuery::Slo);
+        assert!(
+            slo.contains(r#""slo""#) && slo.contains(r#""exemplars""#),
+            "{slo}"
+        );
+        let report = render_trace(Some(&t), TraceQuery::Report);
+        assert!(
+            report.ends_with("# EOF"),
+            "line-based clients need the terminator"
+        );
+        assert!(report.contains("verb score"), "{report}");
     }
 
     #[test]

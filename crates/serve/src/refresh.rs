@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 
 use qrank_core::{PaperEstimator, PipelineEngine, PopularityMetric};
 use qrank_graph::{DynamicGraph, NodeId, PageId, Snapshot, SnapshotSeries};
+use qrank_obs::trace::{ActiveTrace, Tracer};
 
 use crate::durability::{self, DurabilityConfig, Journal, RecoveryReport};
 use crate::error::ServeError;
@@ -132,6 +133,7 @@ pub struct RefreshEngine {
     handle: Arc<StoreHandle>,
     generation: u64,
     journal: Option<Journal>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl RefreshEngine {
@@ -155,7 +157,20 @@ impl RefreshEngine {
             handle,
             generation: 0,
             journal: None,
+            tracer: None,
         })
+    }
+
+    /// Attach (or detach) a request tracer. Every subsequent live
+    /// [`RefreshEngine::ingest`] records a *forced* (never sampled-out)
+    /// `refresh` trace with the full stage breakdown — wal append →
+    /// apply → snapshot → engine → checkpoint — and feeds the cycle's
+    /// wall time into the tracer's per-verb histograms and SLO monitor.
+    /// Recovery replay during [`RefreshEngine::open_durable`] happens
+    /// before any tracer can be attached and stays span-level
+    /// (`refresh.recover`).
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
     }
 
     /// Seed an engine from an existing snapshot series (e.g. loaded from
@@ -213,21 +228,25 @@ impl RefreshEngine {
             engine.restore(state)?;
             report.checkpoint_generation = Some(engine.generation);
         }
+        // Replay gets its own span so flight-recorder timelines separate
+        // "reading the log" (wal.open) from "re-running its deltas".
+        let replay_span = qrank_obs::span!("refresh.replay");
         for (lsn, payload) in &recovery.records {
             let delta = durability::delta_of_record(qrank_wal::decode_delta(payload)?);
             // A rejected delta left the original process's state exactly
             // as the partial apply did; replaying it does the same, so
             // record the rejection and keep going — both histories agree.
-            if let Err(e) = engine.ingest_inner(&delta, false) {
+            if let Err(e) = engine.ingest_inner(&delta, false, &mut None) {
                 report.replay_errors.push(format!("lsn {lsn}: {e}"));
             }
         }
+        drop(replay_span);
         engine.journal = Some(Journal::new(wal, dur.checkpoint_every));
         if report.checkpoint_generation.is_none() && report.replayed_records == 0 {
             if let Some(series) = seed {
                 for snap in series.snapshots() {
                     let delta = engine.delta_from_snapshot(snap);
-                    engine.ingest_inner(&delta, true)?;
+                    engine.ingest_inner(&delta, true, &mut None)?;
                 }
             }
         }
@@ -476,25 +495,67 @@ impl RefreshEngine {
     /// elapsed.
     pub fn ingest(&mut self, delta: &EdgeDelta) -> Result<Option<RefreshStats>, ServeError> {
         let _span = qrank_obs::span!("refresh.ingest");
-        self.ingest_inner(delta, true)
+        let tracer = self.tracer.clone();
+        let mut trace = tracer.as_deref().and_then(|t| t.begin("refresh"));
+        let outcome = self.ingest_inner(delta, true, &mut trace);
+        if let Some(t) = tracer.as_deref() {
+            let total_ns = trace.as_ref().map(|tr| tr.elapsed_ns()).unwrap_or_default();
+            if let Some(mut tr) = trace {
+                tr.end_stage();
+                match &outcome {
+                    Ok(Some(stats)) => tr.note(&format!(
+                        "gen={} pages={} columns_solved={} columns_reused={}",
+                        stats.generation,
+                        stats.num_pages,
+                        stats.columns_solved,
+                        stats.columns_reused
+                    )),
+                    Ok(None) => tr.note("window still filling; nothing published"),
+                    Err(e) => tr.note(&e.to_string()),
+                }
+                t.finish(tr, outcome.is_ok());
+                t.observe("refresh", total_ns, outcome.is_ok());
+            }
+        }
+        outcome
     }
 
     /// The ingest body; `journal: false` is the recovery-replay path
-    /// (the records being replayed are already in the log).
+    /// (the records being replayed are already in the log). `trace`
+    /// carries the live-path refresh trace (always `None` during
+    /// recovery — the tracer is attached after [`Self::open_durable`]).
     fn ingest_inner(
         &mut self,
         delta: &EdgeDelta,
         journal: bool,
+        trace: &mut Option<ActiveTrace>,
     ) -> Result<Option<RefreshStats>, ServeError> {
         if journal {
             if let Some(j) = self.journal.as_mut() {
+                if let Some(t) = trace.as_mut() {
+                    t.stage("wal_append");
+                }
                 j.append(delta)?;
             }
         }
+        if let Some(t) = trace.as_mut() {
+            t.stage("apply");
+        }
         self.apply_delta(delta)?;
+        if let Some(t) = trace.as_mut() {
+            t.stage("snapshot");
+        }
         self.push_snapshot(delta.time)?;
+        if let Some(t) = trace.as_mut() {
+            // Covers the stage engine's align/solve work plus the store
+            // swap — everything between snapshot capture and publish.
+            t.stage("engine");
+        }
         let stats = self.rerank()?;
         if journal && self.journal.as_ref().is_some_and(|j| j.due()) {
+            if let Some(t) = trace.as_mut() {
+                t.stage("checkpoint");
+            }
             self.checkpoint_now()?;
         }
         Ok(stats)

@@ -21,12 +21,15 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use qrank_obs::trace::{ActiveTrace, TraceConfig, Tracer};
+use qrank_obs::SloConfig;
+
 use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::protocol::{
     parse_request, render_error, render_health, render_metrics, render_score, render_stats,
-    render_topk, Request,
+    render_topk, render_trace, verb_name, Request,
 };
 use crate::store::StoreHandle;
 
@@ -42,6 +45,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// `topk` response cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Trace 1 in every `trace_sample` requests (0 = no tracer at all;
+    /// the server then answers `trace` queries with an error). A
+    /// non-zero setting builds a [`Tracer`], but recording still honors
+    /// the global `QRANK_OBS` gate.
+    pub trace_sample: u64,
+    /// SLO latency objective in microseconds (used only when
+    /// `trace_sample` is non-zero).
+    pub slo_latency_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +61,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 4,
             cache_capacity: 64,
+            trace_sample: 0,
+            slo_latency_us: 1_000,
         }
     }
 }
@@ -63,6 +76,7 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ServerHandle {
@@ -74,6 +88,14 @@ impl ServerHandle {
     /// The server's live metrics.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The server's tracer, when started with a non-zero `trace_sample`.
+    /// Hand it to the refresh engine
+    /// ([`crate::RefreshEngine::set_tracer`]) so refresh cycles land in
+    /// the same trace store the `trace` verb reads.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.as_ref().map(Arc::clone)
     }
 
     /// Signal shutdown and join every thread, draining in-flight
@@ -100,6 +122,16 @@ pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(Metrics::new());
+    let tracer = (cfg.trace_sample > 0).then(|| {
+        Arc::new(Tracer::new(TraceConfig {
+            sample_every: cfg.trace_sample,
+            slo: SloConfig {
+                latency_objective_ns: cfg.slo_latency_us.saturating_mul(1_000),
+                ..SloConfig::default()
+            },
+            ..TraceConfig::default()
+        }))
+    });
     let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
     let (conn_tx, conn_rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -127,10 +159,18 @@ pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle
             let store = Arc::clone(&store);
             let metrics = Arc::clone(&metrics);
             let cache = Arc::clone(&cache);
+            let tracer = tracer.as_ref().map(Arc::clone);
             std::thread::spawn(move || loop {
                 let conn = conn_rx.lock().recv();
                 match conn {
-                    Ok(conn) => serve_connection(conn, &store, &metrics, &cache, &shutdown),
+                    Ok(conn) => serve_connection(
+                        conn,
+                        &store,
+                        &metrics,
+                        &cache,
+                        tracer.as_deref(),
+                        &shutdown,
+                    ),
                     Err(_) => break, // acceptor exited and the queue drained
                 }
             })
@@ -143,6 +183,7 @@ pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle
         acceptor: Some(acceptor),
         workers,
         metrics,
+        tracer,
     })
 }
 
@@ -152,6 +193,7 @@ fn serve_connection(
     store: &StoreHandle,
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
+    tracer: Option<&Tracer>,
     shutdown: &AtomicBool,
 ) {
     if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -165,8 +207,17 @@ fn serve_connection(
         while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = pending.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line);
-            let response = handle_request(line.trim(), store, metrics, cache);
-            if conn.write_all(response.as_bytes()).is_err() || conn.write_all(b"\n").is_err() {
+            let (response, mut trace) =
+                handle_request_traced(line.trim(), store, metrics, cache, tracer);
+            if let Some(t) = trace.as_mut() {
+                t.stage("write");
+            }
+            let wrote =
+                conn.write_all(response.as_bytes()).is_ok() && conn.write_all(b"\n").is_ok();
+            if let (Some(tr), Some(t)) = (tracer, trace.take()) {
+                tr.finish(t, wrote && !response.starts_with(r#"{"ok":false"#));
+            }
+            if !wrote {
                 return;
             }
         }
@@ -190,38 +241,123 @@ pub fn handle_request(
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
 ) -> String {
+    handle_request_traced(line, store, metrics, cache, None).0
+}
+
+/// Serve one request line with optional request-scoped tracing.
+///
+/// When `tracer` is set and the head-based sampler elects this request,
+/// the returned [`ActiveTrace`] carries the handler stages
+/// (`parse → store_read → cache_lookup/serialize`); the caller owns the
+/// `write` stage and must [`Tracer::finish`] the trace after the
+/// response hits the socket. Latency accounting
+/// ([`Tracer::observe`], for per-verb percentiles and the SLO monitor)
+/// happens here for **every** request, sampled or not, and covers the
+/// handler only — the write stage is visible in traces but not in the
+/// latency histograms, which keeps the histogram identical to what the
+/// untraced `serve.latency_ns` metric records.
+pub fn handle_request_traced(
+    line: &str,
+    store: &StoreHandle,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    tracer: Option<&Tracer>,
+) -> (String, Option<ActiveTrace>) {
+    let mut trace = tracer.and_then(|t| t.begin_sampled("request"));
     let started = Instant::now();
+    if let Some(t) = trace.as_mut() {
+        t.stage("parse");
+    }
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(msg) => {
             metrics.record_error();
-            return render_error(&msg);
+            if let Some(t) = trace.as_mut() {
+                t.set_verb("error");
+                t.note(&msg);
+                t.end_stage();
+            }
+            if let Some(tr) = tracer {
+                tr.observe("error", started.elapsed().as_nanos() as u64, false);
+            }
+            return (render_error(&msg), trace);
         }
     };
+    if let Some(t) = trace.as_mut() {
+        t.set_verb(verb_name(&request));
+        t.stage("store_read");
+    }
     let current = store.current();
     let response = match request {
-        Request::Score(page) => render_score(&current, page),
+        Request::Score(page) => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_score(&current, page)
+        }
         Request::TopK(k) => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("cache_lookup");
+            }
             let cached = cache.lock().get(current.generation(), k);
             match cached {
                 Some(hit) => {
                     metrics.cache_hit();
+                    if let Some(t) = trace.as_mut() {
+                        t.note("cache=hit");
+                    }
                     hit
                 }
                 None => {
                     metrics.cache_miss();
+                    if let Some(t) = trace.as_mut() {
+                        t.stage("serialize");
+                        t.note("cache=miss");
+                    }
                     let rendered = render_topk(&current, k);
                     cache.lock().put(current.generation(), k, rendered.clone());
                     rendered
                 }
             }
         }
-        Request::Stats => render_stats(&current, &metrics.snapshot()),
-        Request::Metrics => render_metrics(&current, metrics),
-        Request::Health => render_health(&current),
+        Request::Stats => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_stats(&current, &metrics.snapshot())
+        }
+        Request::Metrics => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_metrics(&current, metrics)
+        }
+        Request::Health => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_health(&current)
+        }
+        Request::Trace(query) => {
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_trace(tracer, query)
+        }
     };
-    metrics.record(started.elapsed().as_nanos() as u64);
-    response
+    let latency_ns = started.elapsed().as_nanos() as u64;
+    metrics.record(latency_ns);
+    if let Some(t) = trace.as_mut() {
+        t.end_stage();
+    }
+    if let Some(tr) = tracer {
+        tr.observe(
+            verb_name(&request),
+            latency_ns,
+            !response.starts_with(r#"{"ok":false"#),
+        );
+    }
+    (response, trace)
 }
 
 #[cfg(test)]

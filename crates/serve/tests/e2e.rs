@@ -79,6 +79,25 @@ impl Client {
         assert!(response.ends_with('\n'), "truncated response {response:?}");
         response.trim().to_string()
     }
+
+    /// For multi-line responses (`metrics`, `trace report`): read until
+    /// the `# EOF` terminator, returning every line before it.
+    fn request_multiline(&mut self, line: &str) -> Vec<String> {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut lines = Vec::new();
+        loop {
+            let mut response = String::new();
+            self.reader
+                .read_line(&mut response)
+                .expect("server response");
+            let trimmed = response.trim_end().to_string();
+            if trimmed == "# EOF" {
+                return lines;
+            }
+            lines.push(trimmed);
+        }
+    }
 }
 
 fn relative_diff(a: f64, b: f64) -> f64 {
@@ -105,6 +124,7 @@ fn serves_scores_topk_stats_and_refreshes_over_tcp() {
             addr: "127.0.0.1:0".to_string(),
             workers: 2,
             cache_capacity: 16,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -188,6 +208,111 @@ fn serves_scores_topk_stats_and_refreshes_over_tcp() {
 }
 
 #[test]
+fn trace_verb_attributes_latency_end_to_end() {
+    qrank_obs::set_enabled(true);
+    let handle = Arc::new(StoreHandle::new());
+    let mut engine = RefreshEngine::from_series(
+        &seed_series(3),
+        RefreshConfig::default(),
+        Arc::clone(&handle),
+    )
+    .unwrap();
+    let server = serve(
+        Arc::clone(&handle),
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 16,
+            trace_sample: 1, // trace everything: deterministic retention
+            slo_latency_us: 1_000,
+        },
+    )
+    .unwrap();
+    let tracer = server.tracer().expect("trace_sample > 0 builds a tracer");
+    engine.set_tracer(Some(Arc::clone(&tracer)));
+    let (refresh_tx, refresh_join) = spawn_refresh_worker(engine);
+    let mut client = Client::connect(server.addr());
+
+    for page in 0..6 {
+        let line = client.request(&format!("score {page}"));
+        assert!(line.contains(r#""ok":true"#), "{line}");
+    }
+    client.request("topk 3"); // miss
+    client.request("topk 3"); // hit
+    client.request("definitely not a verb"); // error path is traced too
+
+    // slowest-K per verb, full stage breakdown
+    let slowest = client.request("trace slowest score");
+    assert!(slowest.contains(r#""ok":true"#), "{slowest}");
+    assert!(slowest.contains(r#""verb":"score""#), "{slowest}");
+    for stage in ["parse", "store_read", "serialize", "write"] {
+        assert!(
+            slowest.contains(&format!(r#""name":"{stage}""#)),
+            "stage {stage} missing from {slowest}"
+        );
+    }
+    let topk = client.request("trace slowest topk");
+    assert!(topk.contains("cache=hit"), "{topk}");
+    assert!(topk.contains("cache=miss"), "{topk}");
+    let errors = client.request("trace slowest error");
+    assert!(
+        errors.contains(r#""ok":false"#),
+        "error traces record failure"
+    );
+
+    // by-id lookup round-trips through the retained store
+    let id = json_num(&slowest, "id") as u64;
+    let by_id = client.request(&format!("trace id {id}"));
+    assert!(by_id.contains(&format!(r#""id":{id}"#)), "{by_id}");
+    let missing = client.request("trace id 999999999");
+    assert!(missing.contains("no retained trace"), "{missing}");
+
+    // a refresh cycle gets a forced trace with engine stage attribution
+    refresh_tx
+        .send(RefreshMsg::Delta(EdgeDelta {
+            time: 3.0,
+            added: vec![(0, 1)],
+            ..Default::default()
+        }))
+        .unwrap();
+    for _ in 0..1000 {
+        if json_num(&client.request("health"), "generation") >= 2.0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let refresh = client.request("trace slowest refresh");
+    assert!(refresh.contains(r#""verb":"refresh""#), "{refresh}");
+    for stage in ["apply", "snapshot", "engine"] {
+        assert!(
+            refresh.contains(&format!(r#""name":"{stage}""#)),
+            "stage {stage} missing from {refresh}"
+        );
+    }
+    assert!(refresh.contains("columns_solved=1"), "{refresh}");
+
+    // SLO status sees every verb that carried traffic
+    let slo = client.request("trace slo");
+    assert!(slo.contains(r#""ok":true"#), "{slo}");
+    for verb in ["score", "topk", "error", "refresh"] {
+        assert!(slo.contains(&format!(r#""{verb}":{{"#)), "{slo}");
+    }
+    assert!(slo.contains(r#""windows""#), "{slo}");
+    assert!(slo.contains(r#""exemplars""#), "{slo}");
+
+    // the human-readable report streams until # EOF
+    let report = client.request_multiline("trace report");
+    let text = report.join("\n");
+    assert!(text.contains("slowest traces:"), "{text}");
+    assert!(text.contains("score"), "{text}");
+
+    refresh_tx.send(RefreshMsg::Shutdown).unwrap();
+    refresh_join.join().unwrap();
+    server.shutdown();
+    qrank_obs::set_enabled(false);
+}
+
+#[test]
 fn bad_requests_do_not_poison_the_connection() {
     let handle = Arc::new(StoreHandle::new());
     let engine = RefreshEngine::from_series(
@@ -203,6 +328,7 @@ fn bad_requests_do_not_poison_the_connection() {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             cache_capacity: 4,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -364,6 +364,7 @@ impl Wal {
     /// Append one record payload; returns its LSN. Rotation and the
     /// fsync policy are handled here.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
+        let _span = qrank_obs::span!("wal.append");
         let frame = segment::frame_record(payload);
         if self.active_bytes > HEADER_LEN
             && self.active_bytes + frame.len() as u64 > self.opts.max_segment_bytes
