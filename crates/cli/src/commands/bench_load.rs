@@ -1,15 +1,27 @@
 //! `qrank bench-load` — drive load against a running `qrank serve`
-//! instance and report throughput and latency percentiles as JSON.
+//! instance (or a self-hosted one) and report throughput and latency
+//! percentiles as JSON.
 
-use qrank_serve::{run_load, LoadConfig};
+use std::sync::Arc;
+
+use qrank_graph::io::decode_series;
+use qrank_serve::{
+    run_load, serve, LoadConfig, RefreshConfig, RefreshEngine, ServerConfig, ShardedStore,
+};
 
 use crate::args::{parse, write_output, CliError};
 
 const USAGE: &str = "\
 qrank bench-load --addr <host:port> [options]
+qrank bench-load --series <file> [--shards N] [options]
 
 options:
-  --addr HOST:PORT   server to load (required)
+  --addr HOST:PORT   server to load (required unless --series is given)
+  --series FILE      self-hosted mode: seed an in-process server from this
+                     snapshot series (from `qrank simulate`) on an
+                     ephemeral port, load it, then shut it down
+  --shards N         shard count for the self-hosted server (default 1;
+                     requires --series)
   --connections N    concurrent connections (default 4)
   --requests N       requests per connection (default 2500)
   --pipeline N       requests in flight per connection (default 8)
@@ -30,6 +42,8 @@ latency is the batch round-trip averaged over the batch.";
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let allowed = [
         "addr",
+        "series",
+        "shards",
         "connections",
         "requests",
         "pipeline",
@@ -44,8 +58,52 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         println!("{USAGE}");
         return Ok(());
     }
+    if p.get("shards").is_some() && p.get("series").is_none() {
+        return Err(CliError::Usage(format!(
+            "--shards requires --series (self-hosted mode)\n\n{USAGE}"
+        )));
+    }
+    if p.get("addr").is_some() && p.get("series").is_some() {
+        return Err(CliError::Usage(format!(
+            "--addr and --series are mutually exclusive\n\n{USAGE}"
+        )));
+    }
+    let shards: usize = p.get_or("shards", 1, USAGE)?;
+    if shards == 0 {
+        return Err(CliError::Usage(format!(
+            "--shards must be at least 1\n\n{USAGE}"
+        )));
+    }
+    let server = match p.get("series") {
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            let series = decode_series(&bytes).map_err(|e| CliError::Runtime(e.to_string()))?;
+            let handle = Arc::new(ShardedStore::new(shards));
+            // `from_series` publishes generation 1 before it returns; the
+            // engine itself is not needed for a read-only load run.
+            RefreshEngine::from_series(&series, RefreshConfig::default(), Arc::clone(&handle))
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let server_cfg = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..Default::default()
+            };
+            let server =
+                serve(handle, &server_cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
+            eprintln!(
+                "self-hosted server on {} ({} shard(s))",
+                server.addr(),
+                shards
+            );
+            Some(server)
+        }
+        None => None,
+    };
+    let addr = match &server {
+        Some(s) => s.addr().to_string(),
+        None => p.require("addr", USAGE)?.to_string(),
+    };
     let cfg = LoadConfig {
-        addr: p.require("addr", USAGE)?.to_string(),
+        addr,
         connections: p.get_or("connections", 4, USAGE)?,
         requests_per_connection: p.get_or("requests", 2_500, USAGE)?,
         pipeline: p.get_or("pipeline", 8, USAGE)?,
@@ -65,6 +123,9 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         report.p99_us
     );
     write_output(p.get("out"), &format!("{}\n", report.to_json()))?;
+    if let Some(server) = server {
+        server.shutdown();
+    }
     Ok(())
 }
 
@@ -73,7 +134,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use qrank_serve::{serve, ServerConfig, StoreHandle};
+    use qrank_serve::{serve, ServerConfig, ShardedStore};
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
@@ -82,7 +143,7 @@ mod tests {
     #[test]
     fn loads_a_live_server_and_writes_a_report() {
         let server = serve(
-            Arc::new(StoreHandle::new()),
+            Arc::new(ShardedStore::new(1)),
             &ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,
@@ -114,10 +175,53 @@ mod tests {
     }
 
     #[test]
+    fn self_hosted_sharded_bench_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("qrank_cli_test_bench_load_sharded");
+        std::fs::create_dir_all(&dir).unwrap();
+        let series = dir.join("series.bin");
+        crate::commands::simulate::run(&argv(&[
+            "--out",
+            series.to_str().unwrap(),
+            "--users",
+            "120",
+            "--sites",
+            "3",
+            "--birth-rate",
+            "5",
+            "--burn-in",
+            "2",
+            "--future",
+            "3",
+        ]))
+        .unwrap();
+        let out = dir.join("sharded.json");
+        run(&argv(&[
+            "--series",
+            series.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--connections",
+            "2",
+            "--requests",
+            "50",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains(r#""requests":100"#), "{json}");
+    }
+
+    #[test]
     fn input_validation() {
         assert!(matches!(run(&argv(&[])), Err(CliError::Usage(_))));
         assert!(matches!(
             run(&argv(&["--addr", "127.0.0.1:1", "--connections", "none"])),
+            Err(CliError::Usage(_))
+        ));
+        // --shards only makes sense for a self-hosted server
+        assert!(matches!(
+            run(&argv(&["--addr", "127.0.0.1:1", "--shards", "2"])),
             Err(CliError::Usage(_))
         ));
         // nothing listens on this port

@@ -157,7 +157,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use qrank_serve::{serve, ServerConfig, StoreHandle};
+    use qrank_serve::{serve, ServerConfig, ShardedStore};
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
@@ -171,7 +171,7 @@ mod tests {
 
     fn start_server() -> qrank_serve::ServerHandle {
         serve(
-            Arc::new(StoreHandle::new()),
+            Arc::new(ShardedStore::new(1)),
             &ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,

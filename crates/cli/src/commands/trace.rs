@@ -114,7 +114,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    use qrank_serve::{serve, ServerConfig, StoreHandle};
+    use qrank_serve::{serve, ServerConfig, ShardedStore};
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
@@ -123,7 +123,7 @@ mod tests {
     fn start_traced_server() -> qrank_serve::ServerHandle {
         qrank_obs::set_enabled(true);
         serve(
-            Arc::new(StoreHandle::new()),
+            Arc::new(ShardedStore::new(1)),
             &ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn untraced_server_yields_a_runtime_error() {
         let server = serve(
-            Arc::new(StoreHandle::new()),
+            Arc::new(ShardedStore::new(1)),
             &ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: 1,

@@ -23,6 +23,7 @@ use qrank_obs::Tracer;
 
 use crate::json::{array, Obj};
 use crate::metrics::MetricsSnapshot;
+use crate::shard::ShardView;
 use crate::store::{PageScores, ScoreStore};
 
 /// Largest `k` a `topk` request may ask for (keeps one response line
@@ -142,7 +143,10 @@ fn page_obj(page: PageId, s: &PageScores) -> String {
         .finish()
 }
 
-/// Render a `score` response.
+/// Render a `score` response. Takes one shard's [`ScoreStore`] — the
+/// server dispatches to the owning shard, whose store carries the same
+/// global generation stamp an unsharded store would, so the rendered
+/// bytes are shard-count invariant.
 pub fn render_score(store: &ScoreStore, page: u64) -> String {
     match store.score(PageId(page)) {
         Some(s) => Obj::new()
@@ -157,24 +161,25 @@ pub fn render_score(store: &ScoreStore, page: u64) -> String {
     }
 }
 
-/// Render a `topk` response.
-pub fn render_topk(store: &ScoreStore, k: usize) -> String {
-    let rows = store.topk(k);
+/// Render a `topk` response: a scatter-gather k-way merge across the
+/// sealed view's shards (bitwise identical to the unsharded order).
+pub fn render_topk(view: &ShardView, k: usize) -> String {
+    let rows = view.topk(k);
     Obj::new()
         .bool("ok", true)
-        .int("generation", store.generation())
+        .int("generation", view.generation())
         .int("k", rows.len() as u64)
         .raw("pages", &array(rows.iter().map(|(p, s)| page_obj(*p, s))))
         .finish()
 }
 
-/// Render a `stats` response.
-pub fn render_stats(store: &ScoreStore, m: &MetricsSnapshot) -> String {
+/// Render a `stats` response (page counts gathered across the view).
+pub fn render_stats(view: &ShardView, m: &MetricsSnapshot) -> String {
     Obj::new()
         .bool("ok", true)
-        .int("generation", store.generation())
-        .int("pages", store.len() as u64)
-        .num("snapshot_time", store.snapshot_time())
+        .int("generation", view.generation())
+        .int("pages", view.len() as u64)
+        .num("snapshot_time", view.snapshot_time())
         .int("requests", m.requests)
         .int("errors", m.errors)
         .int("cache_hits", m.cache_hits)
@@ -196,15 +201,15 @@ pub fn render_stats(store: &ScoreStore, m: &MetricsSnapshot) -> String {
 /// The response is multi-line — the one verb that is not a single JSON
 /// line — so the terminator is what lets a line-based client know it
 /// has read everything.
-pub fn render_metrics(store: &ScoreStore, metrics: &crate::metrics::Metrics) -> String {
+pub fn render_metrics(view: &ShardView, metrics: &crate::metrics::Metrics) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "# TYPE qrank_store_generation gauge\nqrank_store_generation {}\n",
-        store.generation()
+        view.generation()
     ));
     out.push_str(&format!(
         "# TYPE qrank_store_pages gauge\nqrank_store_pages {}\n",
-        store.len()
+        view.len()
     ));
     out.push_str(&metrics.registry().snapshot().prometheus_text());
     out.push_str(&qrank_obs::global().snapshot().prometheus_text());
@@ -250,19 +255,19 @@ pub fn render_trace(tracer: Option<&Tracer>, query: TraceQuery) -> String {
 
 /// Render a `health` response (`"empty"` until the first generation is
 /// published, `"serving"` after).
-pub fn render_health(store: &ScoreStore) -> String {
+pub fn render_health(view: &ShardView) -> String {
     Obj::new()
         .bool("ok", true)
         .str(
             "status",
-            if store.generation() == 0 {
+            if view.generation() == 0 {
                 "empty"
             } else {
                 "serving"
             },
         )
-        .int("generation", store.generation())
-        .int("pages", store.len() as u64)
+        .int("generation", view.generation())
+        .int("pages", view.len() as u64)
         .finish()
 }
 
@@ -370,19 +375,19 @@ mod tests {
 
     #[test]
     fn renders_against_empty_store() {
-        let store = ScoreStore::empty();
         assert_eq!(
-            render_score(&store, 7),
+            render_score(&ScoreStore::empty(), 7),
             r#"{"ok":false,"error":"unknown page 7"}"#
         );
-        let topk = render_topk(&store, 3);
+        let view = crate::shard::ShardedStore::new(1).current();
+        let topk = render_topk(&view, 3);
         assert!(
             topk.contains(r#""k":0"#) && topk.contains(r#""pages":[]"#),
             "{topk}"
         );
-        let health = render_health(&store);
+        let health = render_health(&view);
         assert!(health.contains(r#""status":"empty""#), "{health}");
-        let stats = render_stats(&store, &Metrics::new().snapshot());
+        let stats = render_stats(&view, &Metrics::new().snapshot());
         assert!(
             stats.contains(r#""ok":true"#) && stats.contains(r#""requests":0"#),
             "{stats}"
@@ -391,11 +396,11 @@ mod tests {
 
     #[test]
     fn metrics_exposition_is_prometheus_text_with_terminator() {
-        let store = ScoreStore::empty();
+        let view = crate::shard::ShardedStore::new(1).current();
         let m = Metrics::new();
         m.record(1_500);
         m.record_error();
-        let text = render_metrics(&store, &m);
+        let text = render_metrics(&view, &m);
         assert!(text.starts_with("# TYPE qrank_store_generation gauge"));
         assert!(text.contains("qrank_store_pages 0"));
         assert!(text.contains("qrank_serve_requests 1"));

@@ -3,7 +3,8 @@
 //! The refresh worker owns a [`DynamicGraph`] plus a sliding window of
 //! snapshots. Each ingested [`EdgeDelta`] appends graph events, captures
 //! a new snapshot, recomputes quality estimates, and publishes a fresh
-//! [`ScoreStore`] generation — all off the request path.
+//! [`ScoreStore`](crate::ScoreStore) generation — all off the request
+//! path.
 //!
 //! ## One incremental path
 //!
@@ -40,7 +41,7 @@ use qrank_obs::trace::{ActiveTrace, Tracer};
 
 use crate::durability::{self, DurabilityConfig, Journal, RecoveryReport};
 use crate::error::ServeError;
-use crate::store::{ScoreStore, StoreHandle};
+use crate::shard::ShardedStore;
 
 /// A batch of link-structure changes observed at one instant.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -119,8 +120,9 @@ pub struct RefreshStats {
 /// The incremental re-ranking engine.
 ///
 /// Single-owner (typically a dedicated worker thread); publishes results
-/// through a shared [`StoreHandle`] so the request path never waits on a
-/// rerank.
+/// through a shared [`ShardedStore`] (each publish partitions the
+/// report's rows by owning shard, swaps every shard's store, and seals
+/// the coherent view last) so the request path never waits on a rerank.
 #[derive(Debug)]
 pub struct RefreshEngine {
     cfg: RefreshConfig,
@@ -130,7 +132,7 @@ pub struct RefreshEngine {
     alive_edges: BTreeSet<(u64, u64)>,
     series: SnapshotSeries,
     pipeline: PipelineEngine,
-    handle: Arc<StoreHandle>,
+    handle: Arc<ShardedStore>,
     generation: u64,
     journal: Option<Journal>,
     tracer: Option<Arc<Tracer>>,
@@ -138,7 +140,7 @@ pub struct RefreshEngine {
 
 impl RefreshEngine {
     /// An empty engine publishing through `handle`.
-    pub fn new(cfg: RefreshConfig, handle: Arc<StoreHandle>) -> Result<Self, ServeError> {
+    pub fn new(cfg: RefreshConfig, handle: Arc<ShardedStore>) -> Result<Self, ServeError> {
         if cfg.max_window < 3 {
             return Err(ServeError::Config(format!(
                 "max_window must be >= 3 (estimation window + held-out future), got {}",
@@ -181,7 +183,7 @@ impl RefreshEngine {
     pub fn from_series(
         series: &SnapshotSeries,
         cfg: RefreshConfig,
-        handle: Arc<StoreHandle>,
+        handle: Arc<ShardedStore>,
     ) -> Result<Self, ServeError> {
         let mut engine = Self::new(cfg, handle)?;
         for snap in series.snapshots() {
@@ -207,41 +209,41 @@ impl RefreshEngine {
     /// all (fresh deployment): its snapshots are ingested — and
     /// journaled — as deltas, so the *next* boot recovers them from the
     /// log instead.
+    ///
+    /// The journal layout follows the handle's shard count: one shard
+    /// keeps the original flat layout, more turn `dur.dir` into
+    /// per-shard WAL subtrees recovered in parallel and zip-merged back
+    /// into global deltas (see [`crate::durability`]).
     pub fn open_durable(
         cfg: RefreshConfig,
         dur: &DurabilityConfig,
-        handle: Arc<StoreHandle>,
+        handle: Arc<ShardedStore>,
         seed: Option<&SnapshotSeries>,
     ) -> Result<(Self, RecoveryReport), ServeError> {
         let _span = qrank_obs::span!("refresh.recover");
-        let (wal, recovery) = durability::open_wal(dur)?;
+        let opened = durability::open_journal(dur, handle.shards())?;
         let mut engine = Self::new(cfg, handle)?;
-        let mut report = RecoveryReport {
-            checkpoint_generation: None,
-            replayed_records: recovery.records.len() as u64,
-            torn_tail: recovery.torn_tail,
-            skipped_checkpoints: recovery.skipped_checkpoints,
-            replay_errors: Vec::new(),
-        };
-        if let Some(ck) = recovery.checkpoint {
-            let state = durability::decode_state(&ck.payload)?;
+        let mut report = opened.report;
+        report.replayed_records = opened.deltas.len() as u64;
+        if let Some(payload) = &opened.checkpoint {
+            let state = durability::decode_state(payload)?;
             engine.restore(state)?;
             report.checkpoint_generation = Some(engine.generation);
         }
         // Replay gets its own span so flight-recorder timelines separate
-        // "reading the log" (wal.open) from "re-running its deltas".
+        // "reading the log" (wal open + merge) from "re-running its
+        // deltas".
         let replay_span = qrank_obs::span!("refresh.replay");
-        for (lsn, payload) in &recovery.records {
-            let delta = durability::delta_of_record(qrank_wal::decode_delta(payload)?);
+        for (lsn, delta) in &opened.deltas {
             // A rejected delta left the original process's state exactly
             // as the partial apply did; replaying it does the same, so
             // record the rejection and keep going — both histories agree.
-            if let Err(e) = engine.ingest_inner(&delta, false, &mut None) {
+            if let Err(e) = engine.ingest_inner(delta, false, &mut None) {
                 report.replay_errors.push(format!("lsn {lsn}: {e}"));
             }
         }
         drop(replay_span);
-        engine.journal = Some(Journal::new(wal, dur.checkpoint_every));
+        engine.journal = Some(opened.journal);
         if report.checkpoint_generation.is_none() && report.replayed_records == 0 {
             if let Some(series) = seed {
                 for snap in series.snapshots() {
@@ -306,8 +308,8 @@ impl RefreshEngine {
         let report = self
             .pipeline
             .run(&self.series, &estimator, self.cfg.min_relative_change)?;
-        let store = ScoreStore::from_report(&report, self.generation, snapshot_time);
-        self.handle.publish(store);
+        self.handle
+            .publish_report(&report, self.generation, snapshot_time);
         Ok(())
     }
 
@@ -344,7 +346,7 @@ impl RefreshEngine {
     }
 
     /// The handle this engine publishes through.
-    pub fn handle(&self) -> Arc<StoreHandle> {
+    pub fn handle(&self) -> Arc<ShardedStore> {
         Arc::clone(&self.handle)
     }
 
@@ -476,15 +478,15 @@ impl RefreshEngine {
             .run(&self.series, &estimator, self.cfg.min_relative_change)?;
         let stage = self.pipeline.stats();
         self.generation += 1;
-        let store = ScoreStore::from_report(&report, self.generation, snapshot_time);
         let stats = RefreshStats {
             generation: self.generation,
-            num_pages: store.len(),
+            num_pages: report.pages.len(),
             window: self.series.len(),
             columns_solved: stage.columns_solved(),
             columns_reused: stage.columns_reused(),
         };
-        self.handle.publish(store);
+        self.handle
+            .publish_report(&report, self.generation, snapshot_time);
         Ok(Some(stats))
     }
 
@@ -745,7 +747,7 @@ mod tests {
     #[test]
     fn from_series_matches_cold_pipeline() {
         let engine =
-            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(ShardedStore::new(1)))
                 .unwrap();
         assert_eq!(engine.generation(), 1);
         assert_store_matches_cold(&engine);
@@ -754,7 +756,7 @@ mod tests {
     #[test]
     fn incremental_ingest_solves_only_the_new_column() {
         let mut engine =
-            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(ShardedStore::new(1)))
                 .unwrap();
         let delta = EdgeDelta {
             time: 3.0,
@@ -775,7 +777,7 @@ mod tests {
     #[test]
     fn window_slide_reuses_surviving_columns_and_matches_cold() {
         let mut engine =
-            RefreshEngine::from_series(&seed_series(4), cfg(), Arc::new(StoreHandle::new()))
+            RefreshEngine::from_series(&seed_series(4), cfg(), Arc::new(ShardedStore::new(1)))
                 .unwrap();
         // 5th snapshot slides the window: the oldest column is evicted,
         // the three survivors are reused, only the new one is solved.
@@ -795,7 +797,7 @@ mod tests {
     #[test]
     fn new_page_delta_publishes_and_matches_cold() {
         let mut engine =
-            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(StoreHandle::new()))
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::new(ShardedStore::new(1)))
                 .unwrap();
         // page 6 is born with an in-link; the window's common set stays
         // 0..6 (page 6 is absent from the older snapshots), so every
@@ -842,7 +844,7 @@ mod tests {
                 .unwrap();
         }
         let mut engine =
-            RefreshEngine::from_series(&series, cfg(), Arc::new(StoreHandle::new())).unwrap();
+            RefreshEngine::from_series(&series, cfg(), Arc::new(ShardedStore::new(1))).unwrap();
         assert!(engine.handle().current().score(PageId(6)).is_none());
         let delta = EdgeDelta {
             time: 4.0,
@@ -862,7 +864,7 @@ mod tests {
 
     #[test]
     fn too_small_window_returns_none() {
-        let handle = Arc::new(StoreHandle::new());
+        let handle = Arc::new(ShardedStore::new(1));
         let mut engine = RefreshEngine::new(cfg(), Arc::clone(&handle)).unwrap();
         let d0 = EdgeDelta {
             time: 0.0,
@@ -898,10 +900,10 @@ mod tests {
             ..cfg()
         };
         assert!(matches!(
-            RefreshEngine::new(bad, Arc::new(StoreHandle::new())),
+            RefreshEngine::new(bad, Arc::new(ShardedStore::new(1))),
             Err(ServeError::Config(_))
         ));
-        let mut engine = RefreshEngine::new(cfg(), Arc::new(StoreHandle::new())).unwrap();
+        let mut engine = RefreshEngine::new(cfg(), Arc::new(ShardedStore::new(1))).unwrap();
         let delta = EdgeDelta {
             time: 0.0,
             removed: vec![(1, 2)],
@@ -962,7 +964,7 @@ commit 2.0
 
     #[test]
     fn worker_processes_deltas_and_shuts_down() {
-        let handle = Arc::new(StoreHandle::new());
+        let handle = Arc::new(ShardedStore::new(1));
         let engine =
             RefreshEngine::from_series(&seed_series(3), cfg(), Arc::clone(&handle)).unwrap();
         let (tx, join) = spawn_refresh_worker(engine);

@@ -7,9 +7,19 @@
 //! therefore *drains* — every fully-received request is answered before
 //! its connection closes.
 //!
-//! Score lookups go through [`StoreHandle::current`], a briefly-held read
-//! lock around an `Arc` clone, so a refresh publish never stalls the
-//! request path.
+//! The serving state is a [`ShardedStore`]: `score` dispatches to the
+//! owning shard's freshest generation (a briefly-held read lock around
+//! an `Arc` clone, so a refresh publish never stalls the request path),
+//! while `topk`/`stats`/`health`/`metrics` scatter-gather over the
+//! sealed coherent view — every multi-shard answer reads one consistent
+//! generation vector. Responses are bitwise independent of the shard
+//! count.
+//!
+//! Malformed input never drops the connection: unknown verbs, bad
+//! arguments, and non-UTF-8 bytes all answer a structured
+//! `{"ok":false,...}` line. The one exception is a line longer than
+//! [`MAX_LINE_BYTES`] — the server answers an error and closes, since
+//! the rest of the oversized line could not be framed.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,10 +41,15 @@ use crate::protocol::{
     parse_request, render_error, render_health, render_metrics, render_score, render_stats,
     render_topk, render_trace, verb_name, Request,
 };
-use crate::store::StoreHandle;
+use crate::shard::{score_shard_label, ShardedStore};
 
 /// How often an idle worker wakes up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Largest request line accepted before the connection is closed with an
+/// error (a defense against unframed garbage, not a protocol limit —
+/// every real verb fits in a few dozen bytes).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// Front-end configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,7 +129,7 @@ impl ServerHandle {
 }
 
 /// Bind and start serving `store` on `cfg.addr`; returns immediately.
-pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle, ServeError> {
+pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandle, ServeError> {
     if cfg.workers == 0 {
         return Err(ServeError::Config("need at least one worker thread".into()));
     }
@@ -190,7 +205,7 @@ pub fn serve(store: Arc<StoreHandle>, cfg: &ServerConfig) -> Result<ServerHandle
 /// Speak the protocol on one connection until EOF, error, or shutdown.
 fn serve_connection(
     mut conn: TcpStream,
-    store: &StoreHandle,
+    store: &ShardedStore,
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
     tracer: Option<&Tracer>,
@@ -221,6 +236,16 @@ fn serve_connection(
                 return;
             }
         }
+        // Everything framed is answered; what's left is a partial line.
+        // Refuse to buffer one without bound: answer a structured error
+        // and close (the rest of the oversized line cannot be framed).
+        if pending.len() > MAX_LINE_BYTES {
+            metrics.record_error();
+            let response = render_error(&format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            let _ = conn.write_all(response.as_bytes());
+            let _ = conn.write_all(b"\n");
+            return;
+        }
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -237,7 +262,7 @@ fn serve_connection(
 /// Serve one request line; shared by the TCP workers and direct tests.
 pub fn handle_request(
     line: &str,
-    store: &StoreHandle,
+    store: &ShardedStore,
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
 ) -> String {
@@ -258,7 +283,7 @@ pub fn handle_request(
 /// untraced `serve.latency_ns` metric records.
 pub fn handle_request_traced(
     line: &str,
-    store: &StoreHandle,
+    store: &ShardedStore,
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
     tracer: Option<&Tracer>,
@@ -287,19 +312,26 @@ pub fn handle_request_traced(
         t.set_verb(verb_name(&request));
         t.stage("store_read");
     }
-    let current = store.current();
     let response = match request {
         Request::Score(page) => {
+            // Single-shard dispatch: only the owning shard's freshest
+            // generation is read; no scatter, no view.
+            let shard = store.route(page);
+            let current = store.shard_current(shard);
+            if qrank_obs::enabled() {
+                qrank_obs::global().counter("shard.score_dispatch").inc();
+            }
             if let Some(t) = trace.as_mut() {
                 t.stage("serialize");
             }
             render_score(&current, page)
         }
         Request::TopK(k) => {
+            let view = store.current();
             if let Some(t) = trace.as_mut() {
                 t.stage("cache_lookup");
             }
-            let cached = cache.lock().get(current.generation(), k);
+            let cached = cache.lock().get(view.generations(), k);
             match cached {
                 Some(hit) => {
                     metrics.cache_hit();
@@ -314,29 +346,32 @@ pub fn handle_request_traced(
                         t.stage("serialize");
                         t.note("cache=miss");
                     }
-                    let rendered = render_topk(&current, k);
-                    cache.lock().put(current.generation(), k, rendered.clone());
+                    let rendered = render_topk(&view, k);
+                    cache.lock().put(view.generations(), k, rendered.clone());
                     rendered
                 }
             }
         }
         Request::Stats => {
+            let view = store.current();
             if let Some(t) = trace.as_mut() {
                 t.stage("serialize");
             }
-            render_stats(&current, &metrics.snapshot())
+            render_stats(&view, &metrics.snapshot())
         }
         Request::Metrics => {
+            let view = store.current();
             if let Some(t) = trace.as_mut() {
                 t.stage("serialize");
             }
-            render_metrics(&current, metrics)
+            render_metrics(&view, metrics)
         }
         Request::Health => {
+            let view = store.current();
             if let Some(t) = trace.as_mut() {
                 t.stage("serialize");
             }
-            render_health(&current)
+            render_health(&view)
         }
         Request::Trace(query) => {
             if let Some(t) = trace.as_mut() {
@@ -351,11 +386,19 @@ pub fn handle_request_traced(
         t.end_stage();
     }
     if let Some(tr) = tracer {
-        tr.observe(
-            verb_name(&request),
-            latency_ns,
-            !response.starts_with(r#"{"ok":false"#),
-        );
+        let ok = !response.starts_with(r#"{"ok":false"#);
+        tr.observe(verb_name(&request), latency_ns, ok);
+        // Per-shard SLO attribution for score dispatch: observed *in
+        // addition to* the plain verb, and only on a sharded store, so
+        // single-shard deployments keep their exact historical label
+        // set.
+        if store.shards() > 1 {
+            if let Request::Score(page) = request {
+                if let Some(label) = score_shard_label(store.route(page)) {
+                    tr.observe(label, latency_ns, ok);
+                }
+            }
+        }
     }
     (response, trace)
 }
@@ -366,7 +409,7 @@ mod tests {
 
     #[test]
     fn handle_request_counts_and_caches() {
-        let store = StoreHandle::new();
+        let store = ShardedStore::new(1);
         let metrics = Metrics::new();
         let cache = Mutex::new(LruCache::new(4));
         let health = handle_request("health", &store, &metrics, &cache);
@@ -385,7 +428,7 @@ mod tests {
 
     #[test]
     fn metrics_verb_answers_prometheus_text() {
-        let store = StoreHandle::new();
+        let store = ShardedStore::new(1);
         let metrics = Metrics::new();
         let cache = Mutex::new(LruCache::new(4));
         handle_request("health", &store, &metrics, &cache);
@@ -402,7 +445,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            serve(Arc::new(StoreHandle::new()), &cfg),
+            serve(Arc::new(ShardedStore::new(1)), &cfg),
             Err(ServeError::Config(_))
         ));
     }

@@ -56,26 +56,43 @@ impl ScoreStore {
 
     /// Build a store from a pipeline report.
     pub fn from_report(report: &PipelineReport, generation: u64, snapshot_time: f64) -> Self {
-        let n = report.pages.len();
-        let index: HashMap<u64, u32> = report
-            .pages
+        let all: Vec<u32> = (0..report.pages.len() as u32).collect();
+        Self::from_report_rows(report, &all, generation, snapshot_time)
+    }
+
+    /// Build a store from a subset of a pipeline report's rows — the
+    /// per-shard constructor. Score columns are copied verbatim (bit for
+    /// bit), and the quality ordering is sorted with the exact
+    /// comparator [`from_report`](Self::from_report) uses, so restricting
+    /// rows commutes with sorting: a k-way merge of per-shard stores
+    /// reproduces the unsharded order bitwise.
+    pub fn from_report_rows(
+        report: &PipelineReport,
+        rows: &[u32],
+        generation: u64,
+        snapshot_time: f64,
+    ) -> Self {
+        let take = |col: &[f64]| -> Vec<f64> { rows.iter().map(|&r| col[r as usize]).collect() };
+        let pages: Vec<PageId> = rows.iter().map(|&r| report.pages[r as usize]).collect();
+        let quality = take(&report.estimates);
+        let index: HashMap<u64, u32> = pages
             .iter()
             .enumerate()
             .map(|(i, p)| (p.0, i as u32))
             .collect();
-        let mut by_quality: Vec<u32> = (0..n as u32).collect();
+        let mut by_quality: Vec<u32> = (0..pages.len() as u32).collect();
         by_quality.sort_by(|&a, &b| {
-            report.estimates[b as usize]
-                .total_cmp(&report.estimates[a as usize])
-                .then(report.pages[a as usize].cmp(&report.pages[b as usize]))
+            quality[b as usize]
+                .total_cmp(&quality[a as usize])
+                .then(pages[a as usize].cmp(&pages[b as usize]))
         });
         ScoreStore {
             generation,
             snapshot_time,
-            pages: report.pages.clone(),
-            quality: report.estimates.clone(),
-            pagerank: report.current.clone(),
-            trends: report.trends.clone(),
+            pages,
+            quality,
+            pagerank: take(&report.current),
+            trends: rows.iter().map(|&r| report.trends[r as usize]).collect(),
             index,
             by_quality,
         }
@@ -110,6 +127,21 @@ impl ScoreStore {
             pagerank: self.pagerank[i],
             trend: self.trends[i],
         })
+    }
+
+    /// The `i`-th best page in this store's quality order (0 = best), or
+    /// `None` past the end — the cursor primitive the sharded k-way
+    /// merge walks.
+    pub fn nth_best(&self, i: usize) -> Option<(PageId, PageScores)> {
+        let row = *self.by_quality.get(i)? as usize;
+        Some((
+            self.pages[row],
+            PageScores {
+                quality: self.quality[row],
+                pagerank: self.pagerank[row],
+                trend: self.trends[row],
+            },
+        ))
     }
 
     /// The `k` highest-quality pages, best first (ties broken by page
@@ -231,6 +263,30 @@ mod tests {
         // k beyond the page count truncates
         assert_eq!(store.topk(100).len(), 6);
         assert_eq!(store.topk(2).len(), 2);
+    }
+
+    #[test]
+    fn row_restriction_preserves_bits_and_order() {
+        let r = report();
+        let full = ScoreStore::from_report(&r, 1, 2.0);
+        let sub = ScoreStore::from_report_rows(&r, &[4, 1, 3], 1, 2.0);
+        assert_eq!(sub.len(), 3);
+        for &row in &[4usize, 1, 3] {
+            let s = sub.score(r.pages[row]).unwrap();
+            assert_eq!(s.quality.to_bits(), r.estimates[row].to_bits());
+            assert_eq!(s.pagerank.to_bits(), r.current[row].to_bits());
+        }
+        assert!(sub.score(r.pages[0]).is_none());
+        // the restricted quality order is the full order filtered
+        let full_order: Vec<PageId> = full
+            .topk(6)
+            .into_iter()
+            .map(|(p, _)| p)
+            .filter(|p| [r.pages[4], r.pages[1], r.pages[3]].contains(p))
+            .collect();
+        let sub_order: Vec<PageId> = (0..3).map(|i| sub.nth_best(i).unwrap().0).collect();
+        assert_eq!(sub_order, full_order);
+        assert!(sub.nth_best(3).is_none());
     }
 
     #[test]

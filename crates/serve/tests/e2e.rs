@@ -17,7 +17,7 @@ use qrank_core::{run_pipeline, PipelineConfig};
 use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
 use qrank_serve::{
     serve, spawn_refresh_worker, EdgeDelta, RefreshConfig, RefreshEngine, RefreshMsg, ScoreStore,
-    ServerConfig, StoreHandle,
+    ServerConfig, ShardedStore, StoreHandle,
 };
 
 /// The same growing 6-page web as the refresh unit tests: one page
@@ -110,7 +110,7 @@ fn relative_diff(a: f64, b: f64) -> f64 {
 
 #[test]
 fn serves_scores_topk_stats_and_refreshes_over_tcp() {
-    let handle = Arc::new(StoreHandle::new());
+    let handle = Arc::new(ShardedStore::new(1));
     let engine = RefreshEngine::from_series(
         &seed_series(3),
         RefreshConfig::default(),
@@ -210,7 +210,7 @@ fn serves_scores_topk_stats_and_refreshes_over_tcp() {
 #[test]
 fn trace_verb_attributes_latency_end_to_end() {
     qrank_obs::set_enabled(true);
-    let handle = Arc::new(StoreHandle::new());
+    let handle = Arc::new(ShardedStore::new(1));
     let mut engine = RefreshEngine::from_series(
         &seed_series(3),
         RefreshConfig::default(),
@@ -314,7 +314,7 @@ fn trace_verb_attributes_latency_end_to_end() {
 
 #[test]
 fn bad_requests_do_not_poison_the_connection() {
-    let handle = Arc::new(StoreHandle::new());
+    let handle = Arc::new(ShardedStore::new(1));
     let engine = RefreshEngine::from_series(
         &seed_series(3),
         RefreshConfig::default(),

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use qrank_graph::{CsrGraph, PageId, Snapshot, SnapshotSeries};
 use qrank_serve::{
-    handle_request, EdgeDelta, LruCache, Metrics, RefreshConfig, RefreshEngine, StoreHandle,
+    handle_request, EdgeDelta, LruCache, Metrics, RefreshConfig, RefreshEngine, ShardedStore,
 };
 
 fn seed_series(snapshots: usize) -> SnapshotSeries {
@@ -133,7 +133,7 @@ fn parse_exposition(text: &str) -> BTreeSet<String> {
 
 #[test]
 fn metrics_exposition_is_valid_and_names_survive_a_refresh() {
-    let handle = Arc::new(StoreHandle::new());
+    let handle = Arc::new(ShardedStore::new(1));
     let mut engine = RefreshEngine::from_series(
         &seed_series(3),
         RefreshConfig::default(),
