@@ -29,6 +29,11 @@ options:
   --topk-k K         k used for topk requests (default 10)
   --max-page N       sample score pages from 0..N (default 1000)
   --seed S           sampling seed (default 42)
+  --timeout-ms MS    per-socket read/write timeout; a wedged server is a
+                     typed error, not a hang (default 10000; 0 = block)
+  --max-retries N    retry attempts per shed (`overloaded`) response,
+                     honoring the server's retry_after_ms hint
+                     (default 3; 0 = count sheds without retrying)
   --out FILE         write the JSON report to FILE (default stdout)
 
 the report includes total requests, error count, elapsed seconds,
@@ -51,6 +56,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "topk-k",
         "max-page",
         "seed",
+        "timeout-ms",
+        "max-retries",
         "out",
     ];
     let p = parse(argv, &allowed, USAGE)?;
@@ -111,6 +118,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         topk_k: p.get_or("topk-k", 10, USAGE)?,
         max_page: p.get_or("max-page", 1_000, USAGE)?,
         seed: p.get_or("seed", 42, USAGE)?,
+        timeout_ms: p.get_or("timeout-ms", 10_000, USAGE)?,
+        max_retries: p.get_or("max-retries", 3, USAGE)?,
     };
     let report = run_load(&cfg).map_err(|e| CliError::Runtime(e.to_string()))?;
     eprintln!(

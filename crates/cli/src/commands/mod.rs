@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod bench_load;
+pub mod chaos_test;
 pub mod cohort;
 pub mod estimate;
 pub mod generate;

@@ -9,11 +9,50 @@ use std::sync::Arc;
 
 use qrank_graph::io::decode_series;
 use qrank_serve::{
-    parse_deltas, serve, spawn_refresh_worker, DurabilityConfig, FsyncPolicy, RefreshConfig,
-    RefreshEngine, RefreshMsg, ServerConfig, ShardedStore,
+    parse_deltas, serve, spawn_refresh_worker_with, DurabilityConfig, FsyncPolicy, RefreshConfig,
+    RefreshEngine, RefreshMsg, RefreshWorkerOptions, RetryPolicy, ServerConfig, ShardedStore,
+    ShedPolicy,
 };
 
 use crate::args::{parse, CliError};
+
+/// Unix signal plumbing for graceful drain on SIGINT/SIGTERM. Raw
+/// `signal(2)` via its C ABI — the only thing the handler does is flip
+/// an atomic, which is async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handler(_: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Route SIGINT (2) and SIGTERM (15) to the drain flag.
+    pub fn install() {
+        unsafe {
+            signal(2, handler);
+            signal(15, handler);
+        }
+    }
+
+    pub fn received() -> bool {
+        SIGNALED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn received() -> bool {
+        false
+    }
+}
 
 const USAGE: &str = "\
 qrank serve --series <file> [options]
@@ -36,8 +75,39 @@ options:
   --max-window N     snapshots kept in the estimation window (default 4)
   --c C              Equation 1 constant (default 0.1)
   --min-change X     report filter on relative change (default 0.05)
-  --duration SECS    serve for SECS seconds then exit (default 0 = forever)
+  --duration SECS    serve for SECS seconds then exit (default 0 = until
+                     SIGINT/SIGTERM or a protocol `shutdown`)
   --port-file FILE   write the bound address to FILE once listening
+
+overload protection & drain:
+  --max-conns N      maximum simultaneously open connections (default 0 =
+                     unlimited); excess connections get one structured
+                     `overloaded` line with a retry_after_ms hint
+  --accept-queue N   accepted connections waiting for a worker (default
+                     1024); overflow is rejected, never queued unboundedly
+  --read-deadline-ms MS  close connections that complete no request for
+                     MS ms — idle or slow-loris (default 30000; 0 = off)
+  --write-timeout-ms MS  socket write timeout (default 5000; 0 = off)
+  --shed-depth N     shed expensive verbs (topk/stats/metrics/trace) when
+                     load (queued + in-flight) reaches N (default 0 = off)
+  --shed-cheap-depth N  shed cheap verbs (score) at load N (default
+                     4 x shed-depth; probes are never shed)
+  --shed-latency-us L  also shed expensive verbs while served p99 exceeds
+                     L microseconds (default 0 = off)
+  --drain-deadline SECS  graceful-drain budget on shutdown (default 5):
+                     stop accepting, finish in-flight work, then write the
+                     final checkpoint; SIGINT/SIGTERM and the `shutdown`
+                     verb both take this path
+
+failure containment:
+  --quarantine FILE  append rejected deltas here (`# quarantined: <reason>`
+                     + the delta, re-ingestable via --deltas; default with
+                     --data-dir: DIR/quarantine.deltas). A panicking
+                     refresh poisons the worker but the last published
+                     generation keeps serving.
+  --wal-retries N    attempts per journal append/sync on transient I/O
+                     errors, exponential backoff with seeded jitter
+                     (default 5 with --data-dir; 1 = no retry)
 
 tracing (see `qrank trace` for scraping a running server):
   --trace-sample N   trace every N-th request (head-based, deterministic;
@@ -56,9 +126,12 @@ durability (see `qrank wal` for offline inspection):
                      deltas (default 256; 0 = only on clean shutdown)
 
 protocol (line-delimited JSON over TCP):
-  score <page> | topk <n> | stats | metrics | health | trace ...
+  score <page> | topk <n> | stats | metrics | health | ready | trace ...
+  | shutdown
   (`metrics` answers in Prometheus text format, terminated by `# EOF`;
-  `trace` takes: slowest [verb] | id <n> | slo | report)";
+  `trace` takes: slowest [verb] | id <n> | slo | report; `ready` reports
+  readiness — false until a sealed generation exists or while draining;
+  `shutdown` acks and starts a graceful drain)";
 
 /// Entry point.
 pub fn run(argv: &[String]) -> Result<(), CliError> {
@@ -80,6 +153,16 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "checkpoint-every",
         "trace-sample",
         "slo-latency-us",
+        "max-conns",
+        "accept-queue",
+        "read-deadline-ms",
+        "write-timeout-ms",
+        "shed-depth",
+        "shed-cheap-depth",
+        "shed-latency-us",
+        "drain-deadline",
+        "quarantine",
+        "wal-retries",
     ];
     let p = parse(argv, &allowed, USAGE)?;
     if p.help {
@@ -99,7 +182,17 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         cache_capacity: p.get_or("cache", 64, USAGE)?,
         trace_sample: p.get_or("trace-sample", 0, USAGE)?,
         slo_latency_us: p.get_or("slo-latency-us", 1_000, USAGE)?,
+        max_connections: p.get_or("max-conns", 0, USAGE)?,
+        accept_queue: p.get_or("accept-queue", 1024, USAGE)?,
+        read_deadline_ms: p.get_or("read-deadline-ms", 30_000, USAGE)?,
+        write_timeout_ms: p.get_or("write-timeout-ms", 5_000, USAGE)?,
+        shed: ShedPolicy {
+            expensive_at: p.get_or("shed-depth", 0, USAGE)?,
+            cheap_at: p.get_or("shed-cheap-depth", 0, USAGE)?,
+            latency_us: p.get_or("shed-latency-us", 0, USAGE)?,
+        },
     };
+    let drain_deadline: f64 = p.get_or("drain-deadline", 5.0, USAGE)?;
     if server_cfg.trace_sample > 0 {
         // Tracing rides on the observability gate; requesting a sample
         // rate is an explicit opt-in, equivalent to QRANK_OBS=1.
@@ -126,6 +219,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     if shards == 0 || shards > 1024 {
         return Err(CliError::Usage(format!(
             "--shards must be in 1..=1024, got {shards}\n\n{USAGE}"
+        )));
+    }
+    let wal_retries: u32 = p.get_or("wal-retries", 5, USAGE)?;
+    if wal_retries == 0 {
+        return Err(CliError::Usage(format!(
+            "--wal-retries must be at least 1 (1 = no retry)\n\n{USAGE}"
         )));
     }
     let handle = Arc::new(ShardedStore::new(shards));
@@ -165,6 +264,11 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             for err in &report.replay_errors {
                 eprintln!("replay: delta rejected ({err})");
             }
+            let mut engine = engine;
+            engine.set_wal_retry(RetryPolicy {
+                attempts: wal_retries,
+                ..RetryPolicy::standard(0x9e3779b97f4a7c15)
+            });
             engine
         }
         None => RefreshEngine::from_series(&series, refresh_cfg, Arc::clone(&handle))
@@ -199,7 +303,21 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         std::fs::write(path, server.addr().to_string())?;
     }
 
-    let (refresh_tx, refresh_join) = spawn_refresh_worker(engine);
+    // Rejected or panic-poisoned deltas go to the quarantine file rather
+    // than killing ingestion; durable servers get one by default so a
+    // poisoned delta is never silently dropped.
+    let quarantine = p
+        .get("quarantine")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            p.get("data-dir")
+                .map(|d| std::path::Path::new(d).join("quarantine.deltas"))
+        });
+    if let Some(path) = &quarantine {
+        eprintln!("quarantining rejected deltas to {}", path.display());
+    }
+    let (refresh_tx, refresh_join) =
+        spawn_refresh_worker_with(engine, RefreshWorkerOptions { quarantine });
     let num_deltas = deltas.len();
     for delta in deltas {
         refresh_tx
@@ -210,14 +328,39 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         eprintln!("queued {num_deltas} deltas for the refresh worker");
     }
 
-    if duration > 0.0 {
-        std::thread::sleep(std::time::Duration::from_secs_f64(duration));
-    } else {
-        loop {
-            std::thread::park();
+    // Wait for one of the three exit signals: the duration elapsing, a
+    // protocol `shutdown` verb, or SIGINT/SIGTERM.
+    sig::install();
+    let started = std::time::Instant::now();
+    loop {
+        if duration > 0.0 && started.elapsed().as_secs_f64() >= duration {
+            break;
         }
+        if server.drain_requested() {
+            eprintln!("shutdown requested over the protocol; draining");
+            break;
+        }
+        if sig::received() {
+            eprintln!("signal received; draining");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
     }
 
+    // Graceful drain: stop accepting, finish in-flight work under the
+    // deadline, then stop the refresh worker and write the final
+    // checkpoint so the next boot replays nothing.
+    let metrics_handle = server.metrics();
+    let report = server.drain(std::time::Duration::from_secs_f64(drain_deadline.max(0.0)));
+    let metrics = metrics_handle.snapshot();
+    if report.completed {
+        eprintln!("drain completed in {:?}", report.waited);
+    } else {
+        eprintln!(
+            "drain deadline ({drain_deadline}s) forced shutdown with {} connection(s) aborted",
+            report.aborted_connections
+        );
+    }
     refresh_tx
         .send(RefreshMsg::Shutdown)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -234,8 +377,6 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Ok(None) => {}
         Err(e) => eprintln!("warning: shutdown checkpoint failed: {e}"),
     }
-    let metrics = server.metrics().snapshot();
-    server.shutdown();
     eprintln!(
         "served {} requests ({} errors), final generation {}",
         metrics.requests,

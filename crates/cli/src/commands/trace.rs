@@ -130,6 +130,7 @@ mod tests {
                 cache_capacity: 4,
                 trace_sample: 1,
                 slo_latency_us: 1_000,
+                ..Default::default()
             },
         )
         .unwrap()

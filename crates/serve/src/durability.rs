@@ -147,6 +147,115 @@ pub struct RecoveryReport {
     pub truncated_records: u64,
 }
 
+/// Bounded exponential-backoff retry for *transient* journal I/O
+/// errors (`WalError::Io` only — decode/corruption/config errors are
+/// never retried; retrying can't fix a bad byte).
+///
+/// Backoff doubles per attempt from [`RetryPolicy::base_ms`] up to
+/// [`RetryPolicy::max_ms`], with deterministic seeded jitter in
+/// `[50%, 100%]` of the exponential value — equal seeds and equal
+/// failure histories sleep for identical durations, which keeps chaos
+/// runs reproducible while still decorrelating real-world retries.
+///
+/// Retry soundness: [`qrank_wal::Wal::append`] rolls a partially
+/// written frame back before returning an error, so a retried append
+/// always lands on a clean tail; a sharded journal retries each
+/// shard's append independently, so shards that already took the
+/// record are never appended twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (0 or 1 = no retry).
+    pub attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Cap on any single backoff, in milliseconds.
+    pub max_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// No retry — errors surface immediately, the engine's historical
+    /// behavior.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_ms: 5,
+            max_ms: 200,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A sensible production policy: 5 attempts, 5ms → 200ms backoff.
+    pub fn standard(seed: u64) -> Self {
+        RetryPolicy {
+            attempts: 5,
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Is retrying on at all?
+    pub fn enabled(&self) -> bool {
+        self.attempts > 1
+    }
+
+    /// The backoff before retry number `attempt` (1-based), salted so
+    /// successive retries in one process jitter independently.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .max(1)
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(self.max_ms.max(1));
+        // jitter in [50%, 100%] of the exponential value
+        let r = splitmix64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        (exp / 2 + (r % (exp / 2 + 1))).max(1)
+    }
+}
+
+/// SplitMix64 — the workspace's standard cheap deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Run `op` under `policy`, sleeping between attempts. `retries` is the
+/// journal's cumulative retry counter (drives the jitter salt).
+fn with_retry<T>(
+    policy: &RetryPolicy,
+    retries: &mut u64,
+    mut op: impl FnMut() -> Result<T, WalError>,
+) -> Result<T, WalError> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(WalError::Io(_)) if attempt < attempts => {
+                *retries += 1;
+                if qrank_obs::enabled() {
+                    qrank_obs::global().counter("wal.retry").inc();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(
+                    policy.backoff_ms(attempt, *retries),
+                ));
+                attempt += 1;
+            }
+            Err(e) => {
+                if attempt > 1 && qrank_obs::enabled() {
+                    qrank_obs::global().counter("wal.retry.exhausted").inc();
+                }
+                return Err(e);
+            }
+        }
+    }
+}
+
 /// Marker payload for the lagging checkpoints on shards 1..N. Never
 /// decoded — shard 0's payload is the only engine-state authority.
 const SHARD_CKPT_MARKER: &[u8] = b"qrank sharded-journal marker";
@@ -206,6 +315,9 @@ pub(crate) struct Journal {
     checkpoint_every: u64,
     since_checkpoint: u64,
     prev_full_ckpt_lsn: u64,
+    retry: RetryPolicy,
+    /// Cumulative backoffs taken — salts the jitter and feeds stats.
+    retries: u64,
 }
 
 impl Journal {
@@ -216,7 +328,14 @@ impl Journal {
             checkpoint_every,
             since_checkpoint: 0,
             prev_full_ckpt_lsn,
+            retry: RetryPolicy::default(),
+            retries: 0,
         }
+    }
+
+    /// Install a retry policy for transient append/sync I/O errors.
+    pub(crate) fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     fn shards(&self) -> usize {
@@ -226,14 +345,24 @@ impl Journal {
     /// Append one delta (write-ahead: callers do this *before* mutating
     /// engine state). A sharded journal appends one partition record to
     /// every shard's log, keeping their LSN sequences aligned.
+    ///
+    /// Transient I/O errors are retried per the installed
+    /// [`RetryPolicy`] — per shard, so a partial ensemble append only
+    /// ever retries the shards that haven't taken the record yet
+    /// ([`Wal::append`] rolls back its own partial frames).
     pub(crate) fn append(&mut self, delta: &EdgeDelta) -> Result<(), WalError> {
         if self.shards() == 1 {
             // Slotless record — encodes as v1, byte-identical to
             // pre-sharding journals.
-            self.wals[0].append(&qrank_wal::encode_delta(&record_of_delta(delta)))?;
+            let frame = qrank_wal::encode_delta(&record_of_delta(delta));
+            let wal = &mut self.wals[0];
+            with_retry(&self.retry, &mut self.retries, || wal.append(&frame))?;
         } else {
-            for (shard, part) in partition_delta(delta, self.shards()).iter().enumerate() {
-                self.wals[shard].append(&qrank_wal::encode_delta(part))?;
+            let parts = partition_delta(delta, self.shards());
+            for (shard, part) in parts.iter().enumerate() {
+                let frame = qrank_wal::encode_delta(part);
+                let wal = &mut self.wals[shard];
+                with_retry(&self.retry, &mut self.retries, || wal.append(&frame))?;
             }
         }
         self.since_checkpoint += 1;
@@ -270,9 +399,11 @@ impl Journal {
     }
 
     /// Flush outstanding appends on every shard to stable storage.
+    /// Transient I/O errors retry per the installed [`RetryPolicy`]
+    /// (`sync` is idempotent, so whole-call retry is safe).
     pub(crate) fn sync(&mut self) -> Result<(), WalError> {
         for wal in self.wals.iter_mut() {
-            wal.sync()?;
+            with_retry(&self.retry, &mut self.retries, || wal.sync())?;
         }
         Ok(())
     }
@@ -744,6 +875,77 @@ mod tests {
         assert_eq!(opened.deltas.len(), 5);
         assert_eq!(opened.report.truncated_records, 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy::standard(42);
+        for attempt in 1..8 {
+            for salt in 0..50 {
+                let a = p.backoff_ms(attempt, salt);
+                let b = p.backoff_ms(attempt, salt);
+                assert_eq!(a, b, "equal seeds and history sleep identically");
+                let exp = (p.base_ms << (attempt - 1).min(20)).min(p.max_ms);
+                assert!(
+                    a >= 1 && a >= exp / 2 && a <= exp,
+                    "jitter window: {a} vs {exp}"
+                );
+            }
+        }
+        assert_ne!(
+            p.backoff_ms(3, 1),
+            RetryPolicy::standard(43).backoff_ms(3, 1),
+            "different seeds jitter differently"
+        );
+    }
+
+    #[test]
+    fn with_retry_retries_transient_io_and_gives_up() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_ms: 1,
+            max_ms: 1,
+            seed: 7,
+        };
+        let mut retries = 0;
+        let mut calls = 0;
+        let out: Result<u32, WalError> = with_retry(&p, &mut retries, || {
+            calls += 1;
+            if calls < 3 {
+                Err(WalError::Io(std::io::Error::other("flaky")))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(out.unwrap(), 99);
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+
+        // exhaustion surfaces the final error
+        let mut calls = 0;
+        let out: Result<u32, WalError> = with_retry(&p, &mut retries, || {
+            calls += 1;
+            Err(WalError::Io(std::io::Error::other("still down")))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 4, "total attempts honored");
+
+        // non-I/O errors are never retried
+        let mut calls = 0;
+        let out: Result<u32, WalError> = with_retry(&p, &mut retries, || {
+            calls += 1;
+            Err(WalError::Decode("bad version".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "decode failures are not transient");
+
+        // disabled policy = single attempt
+        let mut calls = 0;
+        let _: Result<(), WalError> = with_retry(&RetryPolicy::default(), &mut retries, || {
+            calls += 1;
+            Err(WalError::Io(std::io::Error::other("down")))
+        });
+        assert_eq!(calls, 1);
     }
 
     #[test]

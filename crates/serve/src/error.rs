@@ -22,6 +22,9 @@ pub enum ServeError {
     Wal(qrank_wal::WalError),
     /// A load-generator worker thread panicked.
     LoadThread(String),
+    /// A client-side deadline expired waiting on the server (a wedged
+    /// or overloaded server yields this typed error, never a hang).
+    Timeout(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -35,6 +38,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Wal(e) => write!(f, "durability error: {e}"),
             ServeError::LoadThread(msg) => write!(f, "load worker panicked: {msg}"),
+            ServeError::Timeout(msg) => write!(f, "client deadline expired: {msg}"),
         }
     }
 }

@@ -69,8 +69,10 @@
 pub mod cache;
 pub mod durability;
 pub mod error;
+mod fault;
 pub mod loadgen;
 pub mod metrics;
+pub mod overload;
 pub mod protocol;
 pub mod refresh;
 pub mod server;
@@ -83,10 +85,11 @@ pub mod store;
 pub use qrank_obs::json;
 
 pub use cache::LruCache;
-pub use durability::{DurabilityConfig, RecoveryReport};
+pub use durability::{DurabilityConfig, RecoveryReport, RetryPolicy};
 pub use error::ServeError;
 pub use loadgen::{run_load, LoadConfig, LoadReport, VerbLatency};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use overload::{request_cost, Cost, DrainReport, ShedPolicy};
 pub use protocol::{parse_request, render_trace, verb_name, Request, TraceQuery};
 /// Re-exported so embedders wiring a [`ServerHandle`] tracer into a
 /// [`RefreshEngine`] don't need a direct `qrank-obs` dependency.
@@ -95,8 +98,8 @@ pub use qrank_obs::trace::{TraceConfig, Tracer};
 /// direct `qrank-wal` dependency.
 pub use qrank_wal::FsyncPolicy;
 pub use refresh::{
-    format_delta, format_deltas, parse_deltas, spawn_refresh_worker, EdgeDelta, RefreshConfig,
-    RefreshEngine, RefreshMsg, RefreshStats,
+    format_delta, format_deltas, parse_deltas, spawn_refresh_worker, spawn_refresh_worker_with,
+    EdgeDelta, RefreshConfig, RefreshEngine, RefreshMsg, RefreshStats, RefreshWorkerOptions,
 };
 pub use server::{
     handle_request, handle_request_traced, serve, ServerConfig, ServerHandle, MAX_LINE_BYTES,

@@ -5,10 +5,18 @@
 //! Latencies are merged across connections; percentiles linearly
 //! interpolate between the sorted samples (no bucket-bound snapping) —
 //! the numbers behind the `qrank bench-load` JSON report.
+//!
+//! The generator is a well-behaved overload client: every socket read
+//! sits under a deadline ([`LoadConfig::timeout_ms`]), so a wedged
+//! server yields a typed [`ServeError::Timeout`] instead of a hang, and
+//! `{"ok":false,"error":"overloaded",...}` responses are counted as
+//! *shed* (not protocol errors) and retried with backoff honoring the
+//! server's `retry_after_ms` hint, up to [`LoadConfig::max_retries`]
+//! attempts per request.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::json::{array, Obj};
@@ -35,6 +43,15 @@ pub struct LoadConfig {
     pub max_page: u64,
     /// Sampling seed (deterministic per connection).
     pub seed: u64,
+    /// Client-side read (and write) deadline per response, in
+    /// milliseconds; expiry yields a typed [`ServeError::Timeout`].
+    /// 0 disables the deadline (the historical hang-forever behavior —
+    /// keep it on).
+    pub timeout_ms: u64,
+    /// Retry attempts per request answered `overloaded`, each after a
+    /// backoff honoring the server's `retry_after_ms` hint. 0 = record
+    /// the shed and move on.
+    pub max_retries: u32,
 }
 
 impl Default for LoadConfig {
@@ -48,6 +65,8 @@ impl Default for LoadConfig {
             topk_k: 10,
             max_page: 1_000,
             seed: 42,
+            timeout_ms: 10_000,
+            max_retries: 3,
         }
     }
 }
@@ -61,6 +80,11 @@ pub struct LoadReport {
     pub requests: u64,
     /// Responses with `"ok":false` (e.g. unknown pages).
     pub errors: u64,
+    /// Requests answered `overloaded` by the server's shed policy
+    /// (counted per response, including failed retries; not errors).
+    pub shed: u64,
+    /// Retry attempts sent after `overloaded` responses.
+    pub retries: u64,
     /// Wall-clock duration of the whole run.
     pub elapsed_seconds: f64,
     /// Requests per second over the whole run.
@@ -109,6 +133,8 @@ impl LoadReport {
             .int("connections", self.connections as u64)
             .int("requests", self.requests)
             .int("errors", self.errors)
+            .int("shed", self.shed)
+            .int("retries", self.retries)
             .num("elapsed_seconds", self.elapsed_seconds)
             .num("throughput_rps", self.throughput_rps)
             .num("mean_us", self.mean_us)
@@ -148,37 +174,90 @@ struct ConnResult {
     /// The same latencies split by verb: `[score, topk]`.
     by_verb_ns: [Vec<u64>; 2],
     errors: u64,
+    shed: u64,
+    retries: u64,
+}
+
+/// Is this response line the shed policy's structured rejection?
+fn is_overloaded(response: &str) -> bool {
+    response.starts_with(r#"{"ok":false"#) && response.contains(r#""error":"overloaded""#)
+}
+
+/// The server's `retry_after_ms` backpressure hint, if present.
+fn retry_hint_ms(response: &str) -> Option<u64> {
+    let key = r#""retry_after_ms":"#;
+    let rest = &response[response.find(key)? + key.len()..];
+    let digits: &str = rest
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap_or("");
+    digits.parse().ok()
+}
+
+/// Read one response line under the client deadline; a timeout is a
+/// typed error, never a hang.
+fn read_response(
+    cfg: &LoadConfig,
+    reader: &mut BufReader<TcpStream>,
+    response: &mut String,
+) -> Result<(), ServeError> {
+    response.clear();
+    match reader.read_line(response) {
+        Ok(0) => Err(ServeError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-run",
+        ))),
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            Err(ServeError::Timeout(format!(
+                "no response from {} within {} ms",
+                cfg.addr, cfg.timeout_ms
+            )))
+        }
+        Err(e) => Err(e.into()),
+    }
 }
 
 fn run_connection(cfg: &LoadConfig, conn_index: usize) -> Result<ConnResult, ServeError> {
     let stream = TcpStream::connect(&cfg.addr)?;
     stream.set_nodelay(true)?;
+    if cfg.timeout_ms > 0 {
+        let deadline = Some(Duration::from_millis(cfg.timeout_ms));
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
+    }
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut rng = cfg.seed ^ (conn_index as u64).wrapping_mul(0x5851_f42d_4c95_7f2d);
     let mut latencies_ns = Vec::with_capacity(cfg.requests_per_connection);
     let mut by_verb_ns = [Vec::new(), Vec::new()];
     let mut errors = 0u64;
+    let mut shed = 0u64;
+    let mut retries = 0u64;
     let mut response = String::new();
     let depth = cfg.pipeline.max(1);
     let mut sent = 0usize;
     while sent < cfg.requests_per_connection {
         let batch = depth.min(cfg.requests_per_connection - sent);
-        let mut outgoing = String::new();
-        for i in 0..batch {
-            outgoing.push_str(&request_line(cfg, &mut rng, sent + i));
-        }
+        let lines: Vec<String> = (0..batch)
+            .map(|i| request_line(cfg, &mut rng, sent + i))
+            .collect();
+        let outgoing: String = lines.concat();
+        // Shed requests queued for the retry pass, with the stiffest
+        // backoff hint seen in the batch.
+        let mut to_retry: Vec<String> = Vec::new();
+        let mut hint_ms = 25u64;
         let started = Instant::now();
         writer.write_all(outgoing.as_bytes())?;
-        for _ in 0..batch {
-            response.clear();
-            if reader.read_line(&mut response)? == 0 {
-                return Err(ServeError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-run",
-                )));
-            }
-            if response.starts_with(r#"{"ok":false"#) {
+        for line in &lines {
+            read_response(cfg, &mut reader, &mut response)?;
+            if is_overloaded(&response) {
+                shed += 1;
+                hint_ms = hint_ms.max(retry_hint_ms(&response).unwrap_or(25));
+                if cfg.max_retries > 0 {
+                    to_retry.push(line.clone());
+                }
+            } else if response.starts_with(r#"{"ok":false"#) {
                 errors += 1;
             }
         }
@@ -190,11 +269,38 @@ fn run_connection(cfg: &LoadConfig, conn_index: usize) -> Result<ConnResult, Ser
             by_verb_ns[is_topk(cfg, sent + i) as usize].push(per_request);
         }
         sent += batch;
+        // Retry pass: strict request/response, honoring the server's
+        // backpressure hint (capped so a stiff hint can't stall the
+        // run), with doubling fallback when a retry is shed again.
+        for line in to_retry {
+            let mut backoff = hint_ms;
+            for _ in 0..cfg.max_retries {
+                std::thread::sleep(Duration::from_millis(backoff.min(1_000)));
+                retries += 1;
+                let attempt_started = Instant::now();
+                writer.write_all(line.as_bytes())?;
+                read_response(cfg, &mut reader, &mut response)?;
+                if is_overloaded(&response) {
+                    shed += 1;
+                    backoff = retry_hint_ms(&response).unwrap_or(backoff.saturating_mul(2));
+                    continue;
+                }
+                if response.starts_with(r#"{"ok":false"#) {
+                    errors += 1;
+                }
+                let ns = attempt_started.elapsed().as_nanos() as u64;
+                latencies_ns.push(ns);
+                by_verb_ns[line.starts_with("topk") as usize].push(ns);
+                break;
+            }
+        }
     }
     Ok(ConnResult {
         latencies_ns,
         by_verb_ns,
         errors,
+        shed,
+        retries,
     })
 }
 
@@ -230,6 +336,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
     let mut latencies_ns = Vec::new();
     let mut by_verb_ns = [Vec::new(), Vec::new()];
     let mut errors = 0u64;
+    let mut shed = 0u64;
+    let mut retries = 0u64;
     for r in results {
         let r = r?;
         latencies_ns.extend(r.latencies_ns);
@@ -237,6 +345,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
             merged.extend(conn);
         }
         errors += r.errors;
+        shed += r.shed;
+        retries += r.retries;
     }
     latencies_ns.sort_unstable();
     let requests = latencies_ns.len() as u64;
@@ -264,6 +374,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ServeError> {
         connections: cfg.connections,
         requests,
         errors,
+        shed,
+        retries,
         elapsed_seconds,
         throughput_rps: requests as f64 / elapsed_seconds,
         mean_us,
@@ -304,6 +416,8 @@ mod tests {
             connections: 2,
             requests: 100,
             errors: 1,
+            shed: 5,
+            retries: 4,
             elapsed_seconds: 0.5,
             throughput_rps: 200.0,
             mean_us: 12.5,
@@ -320,6 +434,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains(r#""throughput_rps":200"#), "{json}");
         assert!(json.contains(r#""requests":100"#), "{json}");
+        assert!(json.contains(r#""shed":5"#), "{json}");
+        assert!(json.contains(r#""retries":4"#), "{json}");
         assert!(
             json.contains(r#""verbs":[{"verb":"score","requests":90"#),
             "{json}"
@@ -351,6 +467,16 @@ mod tests {
         let mut b = 9u64;
         assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
         assert_ne!(splitmix64(&mut a), splitmix64(&mut b) + 1);
+    }
+
+    #[test]
+    fn overload_responses_are_recognized_and_hints_parsed() {
+        let line = r#"{"ok":false,"error":"overloaded","retry_after_ms":150}"#;
+        assert!(is_overloaded(line));
+        assert_eq!(retry_hint_ms(line), Some(150));
+        assert!(!is_overloaded(r#"{"ok":false,"error":"unknown page"}"#));
+        assert!(!is_overloaded(r#"{"ok":true,"score":1.0}"#));
+        assert_eq!(retry_hint_ms(r#"{"ok":false,"error":"overloaded"}"#), None);
     }
 
     #[test]

@@ -72,6 +72,36 @@ impl Metrics {
         self.cache_misses.inc();
     }
 
+    /// Record a request shed by the [`crate::overload::ShedPolicy`].
+    /// Sheds are neither served requests (they skip the latency
+    /// histogram) nor protocol errors; they get their own counters.
+    pub fn shed(&self, verb: &str) {
+        self.registry.counter("shed.requests").inc();
+        // static names: the per-shed path must not allocate
+        let name = match verb {
+            "score" => "shed.score",
+            "topk" => "shed.topk",
+            "stats" => "shed.stats",
+            "metrics" => "shed.metrics",
+            "trace" => "shed.trace",
+            _ => "shed.other",
+        };
+        self.registry.counter(name).inc();
+    }
+
+    /// Record a connection rejected at accept time (connection cap or
+    /// accept-queue overflow).
+    pub fn shed_accept(&self) {
+        self.registry.counter("shed.requests").inc();
+        self.registry.counter("shed.accept").inc();
+    }
+
+    /// Record a connection closed for exceeding its read deadline
+    /// (idle or slow-loris).
+    pub fn deadline_closed(&self) {
+        self.registry.counter("shed.deadline_closed").inc();
+    }
+
     /// This instance's registry (rendered by the `metrics` verb).
     pub fn registry(&self) -> &Registry {
         &self.registry

@@ -59,10 +59,19 @@ pub enum Request {
     /// (multi-line; terminated by a `# EOF` line so line-based clients
     /// can find the end).
     Metrics,
-    /// `health` — liveness / readiness probe.
+    /// `health` — liveness probe (is the process up and answering?).
     Health,
+    /// `ready` — readiness probe: unready until a sealed score view
+    /// exists (generation > 0), e.g. mid-recovery on an empty store.
+    Ready,
     /// `trace …` — query the request-scoped tracing subsystem.
     Trace(TraceQuery),
+    /// `shutdown` — request a graceful drain: the server stops
+    /// accepting, finishes in-flight requests under a deadline, and the
+    /// embedding process writes a final checkpoint. Handled at the
+    /// connection layer (it needs the drain flag); the direct handler
+    /// answers an explanatory error.
+    Shutdown,
 }
 
 /// The wire name of a request's verb (used to key per-verb latency
@@ -74,7 +83,9 @@ pub fn verb_name(r: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Health => "health",
+        Request::Ready => "ready",
         Request::Trace(_) => "trace",
+        Request::Shutdown => "shutdown",
     }
 }
 
@@ -83,7 +94,8 @@ pub fn verb_name(r: &Request) -> &'static str {
 /// refresh engine records).
 fn canonical_verb(s: &str) -> Option<&'static str> {
     [
-        "score", "topk", "stats", "metrics", "health", "trace", "error", "refresh", "recover",
+        "score", "topk", "stats", "metrics", "health", "ready", "trace", "shutdown", "error",
+        "refresh", "recover",
     ]
     .into_iter()
     .find(|&v| s == v)
@@ -105,6 +117,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["stats"] => Ok(Request::Stats),
         ["metrics"] => Ok(Request::Metrics),
         ["health"] => Ok(Request::Health),
+        ["ready"] => Ok(Request::Ready),
+        ["shutdown"] => Ok(Request::Shutdown),
         ["trace"] | ["trace", "slowest"] => Ok(Request::Trace(TraceQuery::Slowest(None))),
         ["trace", "slowest", verb] => match canonical_verb(verb) {
             Some(v) => Ok(Request::Trace(TraceQuery::Slowest(Some(v)))),
@@ -119,7 +133,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ["trace", ..] => Err("trace usage: trace [slowest [verb] | id <n> | slo | report]".into()),
         [] => Err("empty request".to_string()),
         [verb, ..] => Err(format!(
-            "unknown command {verb:?} (try: score/topk/stats/metrics/health/trace)"
+            "unknown command {verb:?} (try: score/topk/stats/metrics/health/ready/trace/shutdown)"
         )),
     }
 }
@@ -271,6 +285,51 @@ pub fn render_health(view: &ShardView) -> String {
         .finish()
 }
 
+/// Render a `ready` response: readiness is *having something to
+/// serve* — a sealed view with at least one published generation.
+/// Distinct from `health` (liveness), which answers `ok:true` even on
+/// an empty store: a process mid-recovery is alive but not ready, and
+/// a load balancer must not route to it yet. `draining` flips to true
+/// once a graceful shutdown begins, un-readying the instance ahead of
+/// the actual stop.
+pub fn render_ready(view: &ShardView, draining: bool) -> String {
+    let ready = view.generation() > 0 && !draining;
+    Obj::new()
+        .bool("ok", true)
+        .bool("ready", ready)
+        .bool("draining", draining)
+        .int("generation", view.generation())
+        .int("pages", view.len() as u64)
+        .finish()
+}
+
+/// Render the structured load-shed rejection. `retry_after_ms` is the
+/// server's backpressure hint: clients should wait at least that long
+/// before retrying (the hint grows as the overload deepens).
+pub fn render_overloaded(retry_after_ms: u64) -> String {
+    Obj::new()
+        .bool("ok", false)
+        .str("error", "overloaded")
+        .int("retry_after_ms", retry_after_ms)
+        .finish()
+}
+
+/// Render the rejection for connections arriving during a graceful
+/// drain (same shape as [`render_overloaded`] so clients handle both
+/// with one code path, but distinguishable by the error string).
+pub fn render_draining() -> String {
+    Obj::new()
+        .bool("ok", false)
+        .str("error", "draining")
+        .int("retry_after_ms", 1_000)
+        .finish()
+}
+
+/// Render the acknowledgement for an accepted `shutdown` verb.
+pub fn render_shutdown_ack() -> String {
+    Obj::new().bool("ok", true).bool("draining", true).finish()
+}
+
 /// Render an error response.
 pub fn render_error(msg: &str) -> String {
     Obj::new().bool("ok", false).str("error", msg).finish()
@@ -288,6 +347,8 @@ mod tests {
         assert_eq!(parse_request("stats"), Ok(Request::Stats));
         assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
         assert_eq!(parse_request("health"), Ok(Request::Health));
+        assert_eq!(parse_request("ready"), Ok(Request::Ready));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(
             parse_request("trace"),
             Ok(Request::Trace(TraceQuery::Slowest(None)))
@@ -410,6 +471,39 @@ mod tests {
             text.ends_with("# EOF"),
             "line-based clients need the terminator"
         );
+    }
+
+    #[test]
+    fn ready_is_false_on_an_empty_or_draining_store() {
+        let empty = crate::shard::ShardedStore::new(1).current();
+        let r = render_ready(&empty, false);
+        assert!(
+            r.contains(r#""ok":true"#) && r.contains(r#""ready":false"#),
+            "{r}"
+        );
+        assert!(r.contains(r#""generation":0"#), "{r}");
+        let r = render_ready(&empty, true);
+        assert!(
+            r.contains(r#""ready":false"#) && r.contains(r#""draining":true"#),
+            "{r}"
+        );
+        // liveness stays distinct: health answers "empty", not unready
+        assert!(render_health(&empty).contains(r#""status":"empty""#));
+    }
+
+    #[test]
+    fn overload_and_drain_rejections_are_structured() {
+        let o = render_overloaded(75);
+        assert_eq!(
+            o,
+            r#"{"ok":false,"error":"overloaded","retry_after_ms":75}"#
+        );
+        let d = render_draining();
+        assert!(
+            d.contains(r#""error":"draining""#) && d.contains("retry_after_ms"),
+            "{d}"
+        );
+        assert_eq!(render_shutdown_ack(), r#"{"ok":true,"draining":true}"#);
     }
 
     #[test]

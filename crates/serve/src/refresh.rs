@@ -31,6 +31,8 @@
 //! versus reused.
 
 use std::collections::{BTreeSet, HashMap};
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -39,7 +41,7 @@ use qrank_core::{PaperEstimator, PipelineEngine, PopularityMetric};
 use qrank_graph::{DynamicGraph, NodeId, PageId, Snapshot, SnapshotSeries};
 use qrank_obs::trace::{ActiveTrace, Tracer};
 
-use crate::durability::{self, DurabilityConfig, Journal, RecoveryReport};
+use crate::durability::{self, DurabilityConfig, Journal, RecoveryReport, RetryPolicy};
 use crate::error::ServeError;
 use crate::shard::ShardedStore;
 
@@ -345,6 +347,14 @@ impl RefreshEngine {
         self.journal.as_ref().map(|j| j.stats())
     }
 
+    /// Install a bounded exponential-backoff [`RetryPolicy`] for
+    /// transient journal I/O errors (no-op on a non-durable engine).
+    pub fn set_wal_retry(&mut self, policy: RetryPolicy) {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_retry(policy);
+        }
+    }
+
     /// The handle this engine publishes through.
     pub fn handle(&self) -> Arc<ShardedStore> {
         Arc::clone(&self.handle)
@@ -532,6 +542,15 @@ impl RefreshEngine {
         journal: bool,
         trace: &mut Option<ActiveTrace>,
     ) -> Result<Option<RefreshStats>, ServeError> {
+        // Chaos site sits before the write-ahead append: an injected
+        // failure (error or panic) is a clean no-op on both engine state
+        // and the journal, which is what makes post-fault recovery
+        // comparisons exact.
+        if crate::fault::chaos_fail("refresh.ingest") {
+            return Err(ServeError::Io(std::io::Error::other(
+                "chaos: injected refresh.ingest fault",
+            )));
+        }
         if journal {
             if let Some(j) = self.journal.as_mut() {
                 if let Some(t) = trace.as_mut() {
@@ -681,28 +700,174 @@ pub enum RefreshMsg {
     Shutdown,
 }
 
+/// Failure-containment options for [`spawn_refresh_worker_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RefreshWorkerOptions {
+    /// Append every rejected delta to this file instead of just
+    /// dropping it. Entries are a `# quarantined: <reason>` comment
+    /// followed by the delta in [`format_delta`] form, so the file is
+    /// directly inspectable *and* re-ingestable through
+    /// [`parse_deltas`] once the cause is fixed.
+    pub quarantine: Option<PathBuf>,
+}
+
 /// Spawn the refresh worker thread; send it [`RefreshMsg`]s through the
 /// returned channel. Joining the handle returns the engine plus any
 /// per-message errors encountered (the worker never dies on a bad delta).
+///
+/// Equivalent to [`spawn_refresh_worker_with`] with default options
+/// (no quarantine file; panic containment is always on).
 pub fn spawn_refresh_worker(
+    engine: RefreshEngine,
+) -> (Sender<RefreshMsg>, JoinHandle<(RefreshEngine, Vec<String>)>) {
+    spawn_refresh_worker_with(engine, RefreshWorkerOptions::default())
+}
+
+/// [`spawn_refresh_worker`] with failure containment configured.
+///
+/// Three failure classes, three containments:
+///
+/// * **Typed reject** (`ingest` returns `Err`, e.g. an unknown page or
+///   an exhausted WAL retry) — the delta is quarantined with the error
+///   as its reason; the engine keeps ingesting. Engine state is exactly
+///   what the partial apply left (the same thing a restart would
+///   recover), so continuing is sound.
+/// * **Panic inside ingest** — caught with `catch_unwind`; the delta is
+///   quarantined and the engine is *poisoned*: its in-memory state can
+///   no longer be trusted mid-mutation, so every subsequent delta goes
+///   straight to quarantine and the last sealed [`ShardedStore`] view
+///   keeps serving untouched. A restart recovers from the journal
+///   (write-ahead ordering means a panic before the append left no
+///   trace; one after it replays the delta).
+/// * **Worker messages while poisoned** — recorded as errors, never
+///   executed.
+pub fn spawn_refresh_worker_with(
     mut engine: RefreshEngine,
+    options: RefreshWorkerOptions,
 ) -> (Sender<RefreshMsg>, JoinHandle<(RefreshEngine, Vec<String>)>) {
     let (tx, rx): (Sender<RefreshMsg>, Receiver<RefreshMsg>) = channel();
     let handle = std::thread::spawn(move || {
         let mut errors = Vec::new();
+        let mut poisoned = false;
         while let Ok(msg) = rx.recv() {
-            let outcome = match msg {
-                RefreshMsg::Delta(delta) => engine.ingest(&delta),
-                RefreshMsg::Rerank => engine.rerank(),
+            match msg {
+                RefreshMsg::Delta(delta) => {
+                    if poisoned {
+                        let reason = "engine poisoned by an earlier panic";
+                        quarantine_delta(
+                            options.quarantine.as_deref(),
+                            &delta,
+                            reason,
+                            &mut errors,
+                        );
+                        errors.push(reason.to_string());
+                        continue;
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.ingest(&delta)
+                    })) {
+                        Ok(Ok(_)) => {}
+                        Ok(Err(e)) => {
+                            let reason = e.to_string();
+                            quarantine_delta(
+                                options.quarantine.as_deref(),
+                                &delta,
+                                &reason,
+                                &mut errors,
+                            );
+                            errors.push(reason);
+                        }
+                        Err(panic) => {
+                            poisoned = true;
+                            if qrank_obs::enabled() {
+                                qrank_obs::global().counter("refresh.panic").inc();
+                            }
+                            let reason = format!("refresh panicked: {}", panic_message(&panic));
+                            quarantine_delta(
+                                options.quarantine.as_deref(),
+                                &delta,
+                                &reason,
+                                &mut errors,
+                            );
+                            errors.push(reason);
+                        }
+                    }
+                }
+                RefreshMsg::Rerank => {
+                    if poisoned {
+                        errors.push("rerank skipped: engine poisoned by an earlier panic".into());
+                        continue;
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.rerank()))
+                    {
+                        Ok(Ok(_)) => {}
+                        Ok(Err(e)) => errors.push(e.to_string()),
+                        Err(panic) => {
+                            poisoned = true;
+                            if qrank_obs::enabled() {
+                                qrank_obs::global().counter("refresh.panic").inc();
+                            }
+                            errors.push(format!("rerank panicked: {}", panic_message(&panic)));
+                        }
+                    }
+                }
                 RefreshMsg::Shutdown => break,
-            };
-            if let Err(e) = outcome {
-                errors.push(e.to_string());
             }
         }
         (engine, errors)
     });
     (tx, handle)
+}
+
+/// Best-effort human-readable payload of a caught panic.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Append `delta` to the quarantine file with `reason`, in the exact
+/// format [`parse_deltas`] reads back. Quarantine I/O failures are
+/// recorded in `errors` but never escalate — losing a quarantine entry
+/// must not take down ingestion on top of the original failure.
+fn quarantine_delta(
+    path: Option<&Path>,
+    delta: &EdgeDelta,
+    reason: &str,
+    errors: &mut Vec<String>,
+) {
+    let Some(path) = path else { return };
+    if qrank_obs::enabled() {
+        qrank_obs::global().counter("quarantine.deltas").inc();
+    }
+    let entry = match format_delta(delta) {
+        Ok(body) => format!("# quarantined: {}\n{body}", reason.replace('\n', " ")),
+        Err(e) => {
+            if qrank_obs::enabled() {
+                qrank_obs::global().counter("quarantine.errors").inc();
+            }
+            errors.push(format!("quarantine: delta not formattable: {e}"));
+            return;
+        }
+    };
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(entry.as_bytes()));
+    if let Err(e) = written {
+        if qrank_obs::enabled() {
+            qrank_obs::global().counter("quarantine.errors").inc();
+        }
+        errors.push(format!(
+            "quarantine append to {} failed: {e}",
+            path.display()
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -960,6 +1125,50 @@ commit 2.0
             Err(ServeError::Parse(_))
         ));
         assert!(parse_deltas("# only comments\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_quarantines_rejected_deltas_and_keeps_ingesting() {
+        let dir = std::env::temp_dir().join(format!("qrank_quar_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let qfile = dir.join("quarantine.deltas");
+        let handle = Arc::new(ShardedStore::new(1));
+        let engine =
+            RefreshEngine::from_series(&seed_series(3), cfg(), Arc::clone(&handle)).unwrap();
+        let (tx, join) = spawn_refresh_worker_with(
+            engine,
+            RefreshWorkerOptions {
+                quarantine: Some(qfile.clone()),
+            },
+        );
+        let bad = EdgeDelta {
+            time: 3.0,
+            removed: vec![(77, 78)],
+            ..Default::default()
+        };
+        tx.send(RefreshMsg::Delta(bad.clone())).unwrap();
+        // ingestion continues past the reject
+        tx.send(RefreshMsg::Delta(EdgeDelta {
+            time: 4.0,
+            added: vec![(0, 1)],
+            ..Default::default()
+        }))
+        .unwrap();
+        tx.send(RefreshMsg::Shutdown).unwrap();
+        let (engine, errors) = join.join().unwrap();
+        assert_eq!(engine.generation(), 2, "the good delta still published");
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("unknown page"), "{errors:?}");
+        let text = std::fs::read_to_string(&qfile).unwrap();
+        assert!(
+            text.lines().next().unwrap().starts_with("# quarantined: "),
+            "reason comment leads the entry: {text}"
+        );
+        // the quarantine file is re-parseable and reproduces the delta
+        let reparsed = parse_deltas(&text).unwrap();
+        assert_eq!(reparsed, vec![bad]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,11 +1,35 @@
 //! The TCP front end: a fixed-size thread pool over a blocking listener.
 //!
-//! One acceptor thread feeds accepted connections into an MPSC queue;
-//! `workers` threads pull connections off the queue and speak the
+//! One acceptor thread feeds accepted connections into a *bounded* MPSC
+//! queue; `workers` threads pull connections off the queue and speak the
 //! line-delimited protocol until the client hangs up. Reads carry a short
 //! timeout so workers poll the shutdown flag between requests; shutdown
 //! therefore *drains* — every fully-received request is answered before
 //! its connection closes.
+//!
+//! ## Overload protection
+//!
+//! Admission is bounded end to end: at most
+//! [`ServerConfig::max_connections`] connections are open at once and at
+//! most [`ServerConfig::accept_queue`] sit between the acceptor and the
+//! workers; a connection past either bound is answered one structured
+//! `overloaded` line (with a `retry_after_ms` backpressure hint) and
+//! closed instead of queueing without bound. Admitted requests then pass
+//! the [`ShedPolicy`]: under load, expensive verbs (`topk`/`stats`/
+//! `metrics`/`trace`) are shed before cheap ones (`score`), and probe
+//! verbs (`health`/`ready`/`shutdown`) are never shed. Per-connection
+//! read deadlines evict clients that stall mid-request (slow-loris) or
+//! sit idle pinning a worker; write timeouts stop a non-reading client
+//! from wedging a response. See [`crate::overload`].
+//!
+//! ## Graceful drain
+//!
+//! The `shutdown` protocol verb (or [`ServerHandle::drain`]) starts a
+//! drain: the acceptor answers new connections `draining`, in-flight
+//! requests finish, idle connections close, and — once everything
+//! queued has been answered or the deadline expires — the threads are
+//! joined. The embedding process (see `qrank serve`) then writes a
+//! final checkpoint.
 //!
 //! The serving state is a [`ShardedStore`]: `score` dispatches to the
 //! owning shard's freshest generation (a briefly-held read lock around
@@ -23,8 +47,8 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -37,9 +61,11 @@ use qrank_obs::SloConfig;
 use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
+use crate::overload::{request_cost, retry_after_ms, DrainReport, ShedPolicy};
 use crate::protocol::{
-    parse_request, render_error, render_health, render_metrics, render_score, render_stats,
-    render_topk, render_trace, verb_name, Request,
+    parse_request, render_draining, render_error, render_health, render_metrics, render_overloaded,
+    render_ready, render_score, render_shutdown_ack, render_stats, render_topk, render_trace,
+    verb_name, Request,
 };
 use crate::shard::{score_shard_label, ShardedStore};
 
@@ -68,6 +94,23 @@ pub struct ServerConfig {
     /// SLO latency objective in microseconds (used only when
     /// `trace_sample` is non-zero).
     pub slo_latency_us: u64,
+    /// Maximum simultaneously open connections (0 = unlimited). Excess
+    /// connections are answered one `overloaded` line and closed.
+    pub max_connections: usize,
+    /// Accepted connections waiting for a worker (the bound on the
+    /// accept queue; must be at least 1). Overflow is answered one
+    /// `overloaded` line and closed instead of queueing unboundedly.
+    pub accept_queue: usize,
+    /// Per-connection read deadline in milliseconds: a connection that
+    /// completes no request for this long — idle, or dribbling a
+    /// partial line (slow-loris) — is closed with a structured error.
+    /// 0 disables the deadline.
+    pub read_deadline_ms: u64,
+    /// Socket write timeout in milliseconds (0 = none): bounds how long
+    /// a response write may block on a non-reading client.
+    pub write_timeout_ms: u64,
+    /// Load-shedding policy (disabled by default).
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServerConfig {
@@ -78,8 +121,48 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             trace_sample: 0,
             slo_latency_us: 1_000,
+            max_connections: 0,
+            accept_queue: 1024,
+            read_deadline_ms: 0,
+            write_timeout_ms: 0,
+            shed: ShedPolicy::default(),
         }
     }
+}
+
+/// Flags and gauges shared by the acceptor, the workers, and the
+/// handle. Load is `queued + active`; `open` backs the connection cap
+/// and the drain report.
+#[derive(Debug, Default)]
+struct Shared {
+    /// Hard stop: acceptor exits, workers close their connections.
+    shutdown: AtomicBool,
+    /// Drain in progress: stop accepting, close idle connections.
+    draining: AtomicBool,
+    /// A `shutdown` protocol verb arrived; the embedding process polls
+    /// [`ServerHandle::drain_requested`] and runs the drain.
+    drain_requested: AtomicBool,
+    /// Connections accepted but not yet picked up by a worker.
+    queued: AtomicUsize,
+    /// Requests currently executing.
+    active: AtomicUsize,
+    /// Connections currently open (queued + being served).
+    open: AtomicUsize,
+}
+
+impl Shared {
+    /// Instantaneous load for shedding decisions.
+    fn load(&self) -> usize {
+        self.queued.load(Ordering::Relaxed) + self.active.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-connection limits derived from [`ServerConfig`].
+#[derive(Debug, Clone)]
+struct Limits {
+    read_deadline: Option<Duration>,
+    write_timeout: Option<Duration>,
+    shed: ShedPolicy,
 }
 
 /// A running server; dropping it without calling
@@ -87,7 +170,7 @@ impl Default for ServerConfig {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     metrics: Arc<Metrics>,
@@ -113,10 +196,63 @@ impl ServerHandle {
         self.tracer.as_ref().map(Arc::clone)
     }
 
+    /// Has a client asked for a graceful shutdown via the `shutdown`
+    /// protocol verb? The embedding process polls this and calls
+    /// [`ServerHandle::drain`].
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently executing plus connections waiting for a
+    /// worker — the load figure the shed policy sees.
+    pub fn load(&self) -> usize {
+        self.shared.load()
+    }
+
+    /// Gracefully drain: stop accepting (new connections are answered
+    /// `draining` and closed), let queued connections and in-flight
+    /// requests finish, then stop. If the deadline expires first, the
+    /// remaining work is abandoned and counted in the report.
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        self.metrics.registry().counter("drain.begin").inc();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let started = Instant::now();
+        while started.elapsed() < deadline && self.shared.load() > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let abandoned = self.shared.load();
+        let completed = abandoned == 0;
+        let waited = started.elapsed();
+        self.metrics
+            .registry()
+            .counter(if completed {
+                "drain.completed"
+            } else {
+                "drain.deadline_forced"
+            })
+            .inc();
+        if abandoned > 0 {
+            self.metrics
+                .registry()
+                .counter("drain.aborted_connections")
+                .add(abandoned as u64);
+        }
+        self.stop_and_join();
+        DrainReport {
+            completed,
+            waited,
+            aborted_connections: abandoned,
+        }
+    }
+
     /// Signal shutdown and join every thread, draining in-flight
     /// requests first.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // the acceptor is parked in accept(); poke it awake
         let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
@@ -128,14 +264,34 @@ impl ServerHandle {
     }
 }
 
+/// Answer a connection that is being refused admission: one structured
+/// line, best-effort under a short write timeout, then close.
+fn reject(mut conn: TcpStream, line: &str) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = conn.write_all(line.as_bytes());
+    let _ = conn.write_all(b"\n");
+}
+
 /// Bind and start serving `store` on `cfg.addr`; returns immediately.
 pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandle, ServeError> {
     if cfg.workers == 0 {
         return Err(ServeError::Config("need at least one worker thread".into()));
     }
+    if cfg.accept_queue == 0 {
+        return Err(ServeError::Config(
+            "accept_queue needs at least one slot".into(),
+        ));
+    }
+    if cfg.shed.cheap_at != 0 && cfg.shed.cheap_at < cfg.shed.expensive_at {
+        return Err(ServeError::Config(format!(
+            "shed cheap_at ({}) must not be below expensive_at ({}) — \
+             cheap verbs may never shed before expensive ones",
+            cfg.shed.cheap_at, cfg.shed.expensive_at
+        )));
+    }
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared::default());
     let metrics = Arc::new(Metrics::new());
     let tracer = (cfg.trace_sample > 0).then(|| {
         Arc::new(Tracer::new(TraceConfig {
@@ -148,20 +304,68 @@ pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandl
         }))
     });
     let cache = Arc::new(Mutex::new(LruCache::new(cfg.cache_capacity)));
-    let (conn_tx, conn_rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let limits = Limits {
+        read_deadline: (cfg.read_deadline_ms > 0)
+            .then(|| Duration::from_millis(cfg.read_deadline_ms)),
+        write_timeout: (cfg.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(cfg.write_timeout_ms)),
+        shed: cfg.shed.clone(),
+    };
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(cfg.accept_queue);
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let acceptor = {
-        let shutdown = Arc::clone(&shutdown);
+        let shared = Arc::clone(&shared);
+        let metrics = Arc::clone(&metrics);
+        let max_connections = cfg.max_connections;
+        let accept_queue = cfg.accept_queue;
         std::thread::spawn(move || {
             // conn_tx lives here; dropping it on exit unblocks the workers
             for conn in listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
+                if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(conn) = conn else { continue };
-                if conn_tx.send(conn).is_err() {
-                    break;
+                if shared.draining.load(Ordering::SeqCst) {
+                    metrics
+                        .registry()
+                        .counter("drain.rejected_connections")
+                        .inc();
+                    reject(conn, &render_draining());
+                    continue;
+                }
+                if max_connections > 0 && shared.open.load(Ordering::Relaxed) >= max_connections {
+                    metrics.shed_accept();
+                    reject(
+                        conn,
+                        &render_overloaded(retry_after_ms(
+                            shared.open.load(Ordering::Relaxed),
+                            max_connections,
+                        )),
+                    );
+                    continue;
+                }
+                shared.open.fetch_add(1, Ordering::SeqCst);
+                shared.queued.fetch_add(1, Ordering::SeqCst);
+                match conn_tx.try_send(conn) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(conn)) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        shared.open.fetch_sub(1, Ordering::SeqCst);
+                        metrics.shed_accept();
+                        reject(
+                            conn,
+                            &render_overloaded(retry_after_ms(
+                                accept_queue + 1,
+                                accept_queue.max(1),
+                            )),
+                        );
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        shared.open.fetch_sub(1, Ordering::SeqCst);
+                        break;
+                    }
                 }
             }
         })
@@ -170,22 +374,28 @@ pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandl
     let workers = (0..cfg.workers)
         .map(|_| {
             let conn_rx = Arc::clone(&conn_rx);
-            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             let store = Arc::clone(&store);
             let metrics = Arc::clone(&metrics);
             let cache = Arc::clone(&cache);
             let tracer = tracer.as_ref().map(Arc::clone);
+            let limits = limits.clone();
             std::thread::spawn(move || loop {
                 let conn = conn_rx.lock().recv();
                 match conn {
-                    Ok(conn) => serve_connection(
-                        conn,
-                        &store,
-                        &metrics,
-                        &cache,
-                        tracer.as_deref(),
-                        &shutdown,
-                    ),
+                    Ok(conn) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        serve_connection(
+                            conn,
+                            &store,
+                            &metrics,
+                            &cache,
+                            tracer.as_deref(),
+                            &shared,
+                            &limits,
+                        );
+                        shared.open.fetch_sub(1, Ordering::SeqCst);
+                    }
                     Err(_) => break, // acceptor exited and the queue drained
                 }
             })
@@ -194,7 +404,7 @@ pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandl
 
     Ok(ServerHandle {
         addr,
-        shutdown,
+        shared,
         acceptor: Some(acceptor),
         workers,
         metrics,
@@ -202,28 +412,43 @@ pub fn serve(store: Arc<ShardedStore>, cfg: &ServerConfig) -> Result<ServerHandl
     })
 }
 
-/// Speak the protocol on one connection until EOF, error, or shutdown.
+/// Speak the protocol on one connection until EOF, error, deadline,
+/// drain, or shutdown.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut conn: TcpStream,
     store: &ShardedStore,
     metrics: &Metrics,
     cache: &Mutex<LruCache>,
     tracer: Option<&Tracer>,
-    shutdown: &AtomicBool,
+    shared: &Shared,
+    limits: &Limits,
 ) {
-    if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+    // The read timeout doubles as the shutdown/deadline poll tick; a
+    // deadline shorter than the default tick still fires on time.
+    let poll = match limits.read_deadline {
+        Some(d) => POLL_INTERVAL.min(d),
+        None => POLL_INTERVAL,
+    };
+    if conn.set_read_timeout(Some(poll)).is_err() {
         return;
+    }
+    if let Some(t) = limits.write_timeout {
+        let _ = conn.set_write_timeout(Some(t));
     }
     let _ = conn.set_nodelay(true);
     let mut pending: Vec<u8> = Vec::new();
     let mut buf = [0u8; 4096];
+    // Reset whenever a complete request is answered; an idle or
+    // dribbling (slow-loris) connection never resets it.
+    let mut last_progress = Instant::now();
     loop {
         // answer every complete line already received
         while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = pending.drain(..=pos).collect();
             let line = String::from_utf8_lossy(&line);
             let (response, mut trace) =
-                handle_request_traced(line.trim(), store, metrics, cache, tracer);
+                handle_admitted(line.trim(), store, metrics, cache, tracer, shared, limits);
             if let Some(t) = trace.as_mut() {
                 t.stage("write");
             }
@@ -235,6 +460,7 @@ fn serve_connection(
             if !wrote {
                 return;
             }
+            last_progress = Instant::now();
         }
         // Everything framed is answered; what's left is a partial line.
         // Refuse to buffer one without bound: answer a structured error
@@ -246,8 +472,25 @@ fn serve_connection(
             let _ = conn.write_all(b"\n");
             return;
         }
-        if shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        // Draining: every fully-received request above was answered;
+        // close instead of waiting for more.
+        if shared.draining.load(Ordering::SeqCst) && !pending.contains(&b'\n') {
+            return;
+        }
+        if let Some(deadline) = limits.read_deadline {
+            if last_progress.elapsed() >= deadline {
+                metrics.deadline_closed();
+                let response = render_error(&format!(
+                    "read deadline exceeded ({} ms without a complete request)",
+                    deadline.as_millis()
+                ));
+                let _ = conn.write_all(response.as_bytes());
+                let _ = conn.write_all(b"\n");
+                return;
+            }
         }
         match conn.read(&mut buf) {
             Ok(0) => return, // client hung up
@@ -257,6 +500,50 @@ fn serve_connection(
             Err(_) => return,
         }
     }
+}
+
+/// The connection-layer request path: admission control first (drain
+/// verb, shed policy), then the shared handler. Shed rejections are
+/// counted on their own counters — not as served requests (they skip
+/// the latency histogram) and not as protocol errors.
+fn handle_admitted(
+    line: &str,
+    store: &ShardedStore,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    tracer: Option<&Tracer>,
+    shared: &Shared,
+    limits: &Limits,
+) -> (String, Option<ActiveTrace>) {
+    if let Ok(request) = parse_request(line) {
+        if let Request::Shutdown = request {
+            shared.drain_requested.store(true, Ordering::SeqCst);
+            metrics.registry().counter("drain.requested").inc();
+            return (render_shutdown_ack(), None);
+        }
+        if limits.shed.enabled() {
+            let p99_us = if limits.shed.latency_us > 0 {
+                metrics.snapshot().p99_us
+            } else {
+                0.0
+            };
+            if let Some(retry) = limits
+                .shed
+                .decide(request_cost(&request), shared.load(), p99_us)
+            {
+                metrics.shed(verb_name(&request));
+                return (render_overloaded(retry), None);
+            }
+        }
+    }
+    // Malformed lines fall through: the shared handler renders the
+    // structured parse error with the usual metrics/trace bookkeeping.
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    let drained =
+        shared.draining.load(Ordering::SeqCst) || shared.drain_requested.load(Ordering::SeqCst);
+    let out = handle_request_drain_aware(line, store, metrics, cache, tracer, drained);
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+    out
 }
 
 /// Serve one request line; shared by the TCP workers and direct tests.
@@ -288,6 +575,20 @@ pub fn handle_request_traced(
     cache: &Mutex<LruCache>,
     tracer: Option<&Tracer>,
 ) -> (String, Option<ActiveTrace>) {
+    handle_request_drain_aware(line, store, metrics, cache, tracer, false)
+}
+
+/// [`handle_request_traced`] plus the connection layer's drain flag,
+/// which only the `ready` verb consults (a draining instance reports
+/// unready so load balancers stop routing to it before it stops).
+fn handle_request_drain_aware(
+    line: &str,
+    store: &ShardedStore,
+    metrics: &Metrics,
+    cache: &Mutex<LruCache>,
+    tracer: Option<&Tracer>,
+    draining: bool,
+) -> (String, Option<ActiveTrace>) {
     let mut trace = tracer.and_then(|t| t.begin_sampled("request"));
     let started = Instant::now();
     if let Some(t) = trace.as_mut() {
@@ -314,17 +615,21 @@ pub fn handle_request_traced(
     }
     let response = match request {
         Request::Score(page) => {
-            // Single-shard dispatch: only the owning shard's freshest
-            // generation is read; no scatter, no view.
-            let shard = store.route(page);
-            let current = store.shard_current(shard);
-            if qrank_obs::enabled() {
-                qrank_obs::global().counter("shard.score_dispatch").inc();
+            if crate::fault::chaos_fail("serve.score") {
+                render_error("chaos: injected serve.score fault")
+            } else {
+                // Single-shard dispatch: only the owning shard's freshest
+                // generation is read; no scatter, no view.
+                let shard = store.route(page);
+                let current = store.shard_current(shard);
+                if qrank_obs::enabled() {
+                    qrank_obs::global().counter("shard.score_dispatch").inc();
+                }
+                if let Some(t) = trace.as_mut() {
+                    t.stage("serialize");
+                }
+                render_score(&current, page)
             }
-            if let Some(t) = trace.as_mut() {
-                t.stage("serialize");
-            }
-            render_score(&current, page)
         }
         Request::TopK(k) => {
             let view = store.current();
@@ -373,12 +678,22 @@ pub fn handle_request_traced(
             }
             render_health(&view)
         }
+        Request::Ready => {
+            let view = store.current();
+            if let Some(t) = trace.as_mut() {
+                t.stage("serialize");
+            }
+            render_ready(&view, draining)
+        }
         Request::Trace(query) => {
             if let Some(t) = trace.as_mut() {
                 t.stage("serialize");
             }
             render_trace(tracer, query)
         }
+        // The connection layer intercepts this verb (it owns the drain
+        // flag); reaching it here means a direct handler call.
+        Request::Shutdown => render_error("shutdown is only honored on a live server connection"),
     };
     let latency_ns = started.elapsed().as_nanos() as u64;
     metrics.record(latency_ns);
@@ -406,6 +721,7 @@ pub fn handle_request_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::overload::Cost;
 
     #[test]
     fn handle_request_counts_and_caches() {
@@ -439,6 +755,20 @@ mod tests {
     }
 
     #[test]
+    fn ready_and_shutdown_over_the_direct_handler() {
+        let store = ShardedStore::new(1);
+        let metrics = Metrics::new();
+        let cache = Mutex::new(LruCache::new(4));
+        let ready = handle_request("ready", &store, &metrics, &cache);
+        assert!(ready.contains(r#""ready":false"#), "empty store: {ready}");
+        let shut = handle_request("shutdown", &store, &metrics, &cache);
+        assert!(
+            shut.contains(r#""ok":false"#) && shut.contains("live server connection"),
+            "{shut}"
+        );
+    }
+
+    #[test]
     fn rejects_zero_workers() {
         let cfg = ServerConfig {
             workers: 0,
@@ -448,5 +778,107 @@ mod tests {
             serve(Arc::new(ShardedStore::new(1)), &cfg),
             Err(ServeError::Config(_))
         ));
+    }
+
+    #[test]
+    fn rejects_bad_admission_configs() {
+        let no_queue = ServerConfig {
+            accept_queue: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            serve(Arc::new(ShardedStore::new(1)), &no_queue),
+            Err(ServeError::Config(_))
+        ));
+        let inverted = ServerConfig {
+            shed: ShedPolicy {
+                expensive_at: 10,
+                cheap_at: 2,
+                latency_us: 0,
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            serve(Arc::new(ShardedStore::new(1)), &inverted),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn shed_rejections_skip_request_and_error_counters() {
+        let store = ShardedStore::new(1);
+        let metrics = Metrics::new();
+        let cache = Mutex::new(LruCache::new(4));
+        let shared = Shared::default();
+        shared.active.store(5, Ordering::SeqCst);
+        let limits = Limits {
+            read_deadline: None,
+            write_timeout: None,
+            shed: ShedPolicy {
+                expensive_at: 1,
+                cheap_at: 1_000,
+                latency_us: 0,
+            },
+        };
+        let (topk, _) = handle_admitted("topk 3", &store, &metrics, &cache, None, &shared, &limits);
+        assert!(topk.contains(r#""error":"overloaded""#), "{topk}");
+        assert!(topk.contains("retry_after_ms"), "{topk}");
+        let (score, _) =
+            handle_admitted("score 1", &store, &metrics, &cache, None, &shared, &limits);
+        assert!(
+            !score.contains("overloaded"),
+            "score admitted while load is under the cheap threshold: {score}"
+        );
+        let (health, _) =
+            handle_admitted("health", &store, &metrics, &cache, None, &shared, &limits);
+        assert!(health.contains(r#""ok":true"#), "probes exempt: {health}");
+        let s = metrics.snapshot();
+        assert_eq!(s.requests, 2, "the shed topk is not a served request");
+        assert_eq!(s.errors, 0, "sheds are not protocol errors");
+        let snap = metrics.registry().snapshot();
+        assert_eq!(snap.counter("shed.requests"), Some(1));
+        assert_eq!(snap.counter("shed.topk"), Some(1));
+    }
+
+    #[test]
+    fn shutdown_verb_sets_the_drain_request_flag() {
+        let store = ShardedStore::new(1);
+        let metrics = Metrics::new();
+        let cache = Mutex::new(LruCache::new(4));
+        let shared = Shared::default();
+        let limits = Limits {
+            read_deadline: None,
+            write_timeout: None,
+            shed: ShedPolicy::default(),
+        };
+        let (ack, _) =
+            handle_admitted("shutdown", &store, &metrics, &cache, None, &shared, &limits);
+        assert_eq!(ack, r#"{"ok":true,"draining":true}"#);
+        assert!(shared.drain_requested.load(Ordering::SeqCst));
+        // ready now reports unready even though the store is untouched
+        let (ready, _) = handle_admitted("ready", &store, &metrics, &cache, None, &shared, &limits);
+        assert!(ready.contains(r#""draining":true"#), "{ready}");
+    }
+
+    #[test]
+    fn cost_classes_shed_in_priority_order_under_synthetic_load() {
+        // Sweep every load level: at no level is score shed while topk
+        // would be admitted (the proptest in tests/ explores the policy
+        // space; this pins the concrete default-derived thresholds).
+        let shed = ShedPolicy {
+            expensive_at: 3,
+            cheap_at: 0,
+            latency_us: 0,
+        };
+        for load in 0..64 {
+            let cheap = shed.decide(Cost::Cheap, load, 0.0);
+            let expensive = shed.decide(Cost::Expensive, load, 0.0);
+            if cheap.is_some() {
+                assert!(
+                    expensive.is_some(),
+                    "load {load}: score shed while topk admitted"
+                );
+            }
+        }
     }
 }

@@ -225,6 +225,7 @@ fn trace_verb_attributes_latency_end_to_end() {
             cache_capacity: 16,
             trace_sample: 1, // trace everything: deterministic retention
             slo_latency_us: 1_000,
+            ..Default::default()
         },
     )
     .unwrap();

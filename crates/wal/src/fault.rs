@@ -1,0 +1,23 @@
+//! Chaos hook shims — the only place `qrank_chaos` is referenced.
+//!
+//! With the `chaos` cargo feature enabled, [`chaos_fail`] consults the
+//! process-global fault plan; without it the function is a `const
+//! false` the optimizer deletes, so default builds carry zero
+//! injection branches (CI greps enforce that `qrank_chaos` appears
+//! nowhere else in this crate).
+
+/// Should the instrumented site fail with an injected error?
+///
+/// Sites: `wal.append`, `wal.sync`, `wal.checkpoint`.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn chaos_fail(site: &'static str) -> bool {
+    qrank_chaos::should_fail(site)
+}
+
+/// Chaos feature disabled: never fails, compiles to nothing.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn chaos_fail(_site: &'static str) -> bool {
+    false
+}

@@ -42,6 +42,7 @@ use std::str::FromStr;
 
 pub mod checkpoint;
 pub mod crc;
+mod fault;
 pub mod log;
 pub mod record;
 pub mod segment;

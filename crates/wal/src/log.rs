@@ -365,13 +365,24 @@ impl Wal {
     /// fsync policy are handled here.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, WalError> {
         let _span = qrank_obs::span!("wal.append");
+        if crate::fault::chaos_fail("wal.append") {
+            return Err(WalError::Io(std::io::Error::other(
+                "chaos: injected wal.append fault",
+            )));
+        }
         let frame = segment::frame_record(payload);
         if self.active_bytes > HEADER_LEN
             && self.active_bytes + frame.len() as u64 > self.opts.max_segment_bytes
         {
             self.rotate()?;
         }
-        self.active.write_all(&frame)?;
+        if let Err(e) = self.active.write_all(&frame) {
+            // Roll the partially written frame back so the segment ends
+            // on the last good frame — a retried append must land on a
+            // clean tail, not after torn bytes mid-segment.
+            let _ = self.active.set_len(self.active_bytes);
+            return Err(e.into());
+        }
         self.active_bytes += frame.len() as u64;
         let lsn = self.next_lsn;
         self.next_lsn += 1;
@@ -396,6 +407,11 @@ impl Wal {
     /// Flush the active segment to stable storage.
     pub fn sync(&mut self) -> Result<(), WalError> {
         let _span = qrank_obs::span!("wal.sync");
+        if crate::fault::chaos_fail("wal.sync") {
+            return Err(WalError::Io(std::io::Error::other(
+                "chaos: injected wal.sync fault",
+            )));
+        }
         self.active.sync_data()?;
         self.unsynced = 0;
         bump("wal.sync");
@@ -443,6 +459,11 @@ impl Wal {
     /// checkpoint, or fall below the oldest retained record.
     pub fn checkpoint_at(&mut self, lsn: u64, payload: &[u8]) -> Result<u64, WalError> {
         let _span = qrank_obs::span!("wal.checkpoint");
+        if crate::fault::chaos_fail("wal.checkpoint") {
+            return Err(WalError::Io(std::io::Error::other(
+                "chaos: injected wal.checkpoint fault",
+            )));
+        }
         if lsn > self.next_lsn {
             return Err(WalError::Config(format!(
                 "checkpoint LSN {lsn} is past the append head {}",
